@@ -1,0 +1,242 @@
+(* Benchmark harness: regenerates every table and figure of the paper and
+   times the computations behind them.
+
+   Part 1 prints the reproduced artifacts (the actual data of Tables 1-2 and
+   Figures 3-11) with wall-clock generation times at full scale.
+
+   Part 2 registers one Bechamel micro-benchmark per artifact — the analysis
+   kernel that regenerates it, run at Line-2 scale so OLS gets enough
+   samples — plus ablation benches for the design choices DESIGN.md calls
+   out (lumping, the PRISM translation path, simulation).
+
+   Environment knobs: BENCH_POINTS (curve samples in part 1, default 15),
+   BENCH_SKIP_ARTIFACTS=1 (skip part 1), BENCH_SKIP_MICRO=1 (skip part 2). *)
+
+open Bechamel
+open Toolkit
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+  | None -> default
+
+let skip name = Sys.getenv_opt name = Some "1"
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: print the reproduced artifacts *)
+
+let print_artifacts () =
+  let points = getenv_int "BENCH_POINTS" 15 in
+  Format.printf "==========================================================@.";
+  Format.printf " Reproduction of the paper's tables and figures@.";
+  Format.printf " (curves sampled at %d points; BENCH_POINTS overrides)@." points;
+  Format.printf "==========================================================@.@.";
+  List.iter
+    (fun id ->
+      let gen =
+        match Watertreatment.Experiments.by_id id with
+        | Some gen -> gen
+        | None -> assert false
+      in
+      let t0 = Unix.gettimeofday () in
+      let artifact = gen ~points () in
+      let dt = Unix.gettimeofday () -. t0 in
+      Watertreatment.Experiments.render_artifact Format.std_formatter artifact;
+      Format.printf "  [%s generated in %.2f s]@.@." id dt)
+    Watertreatment.Experiments.ids
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks *)
+
+(* Prebuilt Line-2 chains shared by the kernels (building them is its own
+   benchmark; the measure kernels time the analysis, as in the paper's tool
+   chain where PRISM builds once and checks many properties). *)
+let line2 = Watertreatment.Facility.Line2
+
+let frf1 = Watertreatment.Facility.frf 1
+
+let model_line2_frf1 = Watertreatment.Facility.line_model line2 frf1
+
+let measures_line2_frf1 = lazy (Core.Measures.analyze model_line2_frf1)
+
+let measures_line2_ded =
+  lazy
+    (Core.Measures.analyze
+       (Watertreatment.Facility.line_model line2 Watertreatment.Facility.ded))
+
+let good_line2_frf1 =
+  lazy
+    (Watertreatment.Facility.analyze_after_disaster line2 frf1
+       ~failed:Watertreatment.Facility.disaster2)
+
+let reliability_line2 =
+  lazy (Core.Measures.analyze (Watertreatment.Facility.reliability_model line2))
+
+let grid n upto = List.init n (fun i -> upto *. float_of_int i /. float_of_int (n - 1))
+
+let test_table1 =
+  (* Table 1 kernel: explore the Line 2 FRF-1 state space (8129 states) *)
+  Test.make ~name:"table1/state-space-build (line2 frf-1)"
+    (Staged.stage (fun () -> Core.Semantics.build model_line2_frf1))
+
+let test_table2 =
+  Test.make ~name:"table2/steady-state availability (line2 frf-1)"
+    (Staged.stage (fun () ->
+         Core.Measures.availability (Lazy.force measures_line2_frf1)))
+
+let test_fig3 =
+  Test.make ~name:"fig3/reliability curve (line2, 10 pts)"
+    (Staged.stage (fun () ->
+         Core.Measures.reliability_curve (Lazy.force reliability_line2)
+           ~times:(grid 10 1000.)))
+
+let test_fig4 =
+  Test.make ~name:"fig4/survivability X1 curve (line2 D2, 10 pts)"
+    (Staged.stage (fun () ->
+         Core.Measures.survivability_curve (Lazy.force good_line2_frf1)
+           ~service_level:(1. /. 3.) ~times:(grid 10 100.)))
+
+let test_fig5 =
+  Test.make ~name:"fig5/survivability X2 curve (line2 D2, 10 pts)"
+    (Staged.stage (fun () ->
+         Core.Measures.survivability_curve (Lazy.force good_line2_frf1)
+           ~service_level:0.5 ~times:(grid 10 100.)))
+
+let test_fig6 =
+  Test.make ~name:"fig6/instantaneous cost curve (line2 D2, 10 pts)"
+    (Staged.stage (fun () ->
+         Core.Measures.instantaneous_cost_curve (Lazy.force good_line2_frf1)
+           ~times:(grid 10 50.)))
+
+let test_fig7 =
+  Test.make ~name:"fig7/accumulated cost curve (line2 D2, 10 pts)"
+    (Staged.stage (fun () ->
+         Core.Measures.accumulated_cost_curve (Lazy.force good_line2_frf1)
+           ~times:(grid 10 50.)))
+
+let test_fig8 =
+  Test.make ~name:"fig8/survivability X1 point (line2 D2, t=100)"
+    (Staged.stage (fun () ->
+         Core.Measures.survivability (Lazy.force good_line2_frf1)
+           ~service_level:(1. /. 3.) ~time:100.))
+
+let test_fig9 =
+  Test.make ~name:"fig9/survivability X3 point (line2 D2, t=100)"
+    (Staged.stage (fun () ->
+         Core.Measures.survivability (Lazy.force good_line2_frf1)
+           ~service_level:(2. /. 3.) ~time:100.))
+
+let test_fig10 =
+  Test.make ~name:"fig10/instantaneous cost point (line2 D2, t=50)"
+    (Staged.stage (fun () ->
+         Core.Measures.instantaneous_cost (Lazy.force good_line2_frf1) ~time:50.))
+
+let test_fig11 =
+  Test.make ~name:"fig11/accumulated cost point (line2 D2, t=50)"
+    (Staged.stage (fun () ->
+         Core.Measures.accumulated_cost (Lazy.force good_line2_frf1) ~time:50.))
+
+(* Ablations *)
+
+let test_ablation_prism_path =
+  (* the tool-chain alternative: translate to PRISM, parse, rebuild *)
+  Test.make ~name:"ablation/prism-translation path (line2 frf-1)"
+    (Staged.stage (fun () ->
+         Prism.Builder.build
+           (Prism.Parser.parse_model (Core.To_prism.to_string model_line2_frf1))))
+
+let test_ablation_lumping =
+  (* the paper's future-work minimization: lump the dedicated Line 2 chain *)
+  Test.make ~name:"ablation/lumping (line2 ded, 512 states)"
+    (Staged.stage (fun () ->
+         let m = Lazy.force measures_line2_ded in
+         let built = Core.Measures.built m in
+         let chain = built.Core.Semantics.chain in
+         let key s =
+           let st = built.Core.Semantics.states.(s) in
+           let count lo hi =
+             let acc = ref 0 in
+             for i = lo to hi do
+               if st.Core.Semantics.up.(i) then incr acc
+             done;
+             !acc
+           in
+           Printf.sprintf "%d/%d/%b/%d" (count 0 2) (count 3 4)
+             st.Core.Semantics.up.(5) (count 6 8)
+         in
+         let initial = Ctmc.Lumping.partition_by_key (Ctmc.Chain.states chain) key in
+         Ctmc.Lumping.lump chain ~initial))
+
+let test_ablation_simulation =
+  Test.make ~name:"ablation/monte-carlo (line2 ded, 100 runs, 500 h)"
+    (Staged.stage
+       (let rng = Numeric.Rng.create 42L in
+        fun () ->
+          let m = Lazy.force measures_line2_ded in
+          let chain = (Core.Measures.built m).Core.Semantics.chain in
+          Ctmc.Simulate.estimate chain rng ~runs:100 ~horizon:500. ~f:(fun path ->
+              Ctmc.Simulate.time_in path ~horizon:500. ~pred:(fun _ -> true))))
+
+let test_ablation_uniformization =
+  Test.make ~name:"ablation/fox-glynn weights (lambda = 10000)"
+    (Staged.stage (fun () -> Numeric.Fox_glynn.compute 10_000.))
+
+let all_tests =
+  [
+    test_table1; test_table2; test_fig3; test_fig4; test_fig5; test_fig6;
+    test_fig7; test_fig8; test_fig9; test_fig10; test_fig11;
+    test_ablation_prism_path; test_ablation_lumping; test_ablation_simulation;
+    test_ablation_uniformization;
+  ]
+
+let run_micro () =
+  Format.printf "==========================================================@.";
+  Format.printf " Bechamel micro-benchmarks (one per table/figure + ablations)@.";
+  Format.printf "==========================================================@.";
+  let grouped = Test.make_grouped ~name:"arcade" all_tests in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~stabilize:false ~kde:None ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Format.printf "  %-58s %12s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) ->
+          let human =
+            if est > 1e9 then Printf.sprintf "%8.3f  s" (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%8.3f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%8.3f us" (est /. 1e3)
+            else Printf.sprintf "%8.0f ns" est
+          in
+          Format.printf "  %-58s %12s@." name human
+      | Some [] | None -> Format.printf "  %-58s %12s@." name "n/a")
+    rows
+
+let print_ablations () =
+  Format.printf "==========================================================@.";
+  Format.printf " Ablation studies (beyond the paper)@.";
+  Format.printf "==========================================================@.@.";
+  List.iter
+    (fun id ->
+      let gen =
+        match Watertreatment.Ablations.by_id id with
+        | Some gen -> gen
+        | None -> assert false
+      in
+      let t0 = Unix.gettimeofday () in
+      let artifact = gen () in
+      let dt = Unix.gettimeofday () -. t0 in
+      Watertreatment.Experiments.render_artifact Format.std_formatter artifact;
+      Format.printf "  [%s generated in %.2f s]@.@." id dt)
+    Watertreatment.Ablations.ids
+
+let () =
+  if not (skip "BENCH_SKIP_ARTIFACTS") then print_artifacts ();
+  if not (skip "BENCH_SKIP_ABLATIONS") then print_ablations ();
+  if not (skip "BENCH_SKIP_MICRO") then run_micro ()

@@ -1,0 +1,1 @@
+examples/importance_analysis.ml: Core Facility Format List Watertreatment

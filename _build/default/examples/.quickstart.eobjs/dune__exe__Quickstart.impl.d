@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Csl Ctmc Fault_tree Format List

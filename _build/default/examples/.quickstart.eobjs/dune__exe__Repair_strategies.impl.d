@@ -1,0 +1,1 @@
+examples/repair_strategies.ml: Core Ctmc Fault_tree Format List Printf

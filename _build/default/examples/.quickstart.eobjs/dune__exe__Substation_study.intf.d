@@ -1,0 +1,1 @@
+examples/substation_study.mli:

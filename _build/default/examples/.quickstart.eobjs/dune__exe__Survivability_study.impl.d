@@ -1,0 +1,1 @@
+examples/survivability_study.ml: Core Facility Format List Watertreatment

@@ -1,0 +1,1 @@
+examples/xml_pipeline.ml: Core Csl Ctmc Float Format List Prism String Watertreatment Xml_kit

@@ -1,0 +1,1 @@
+examples/xml_pipeline.mli:

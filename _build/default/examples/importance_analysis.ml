@@ -1,0 +1,32 @@
+(* Component importance: where should the water company spend its
+   maintenance budget?
+
+   Computes the classical importance indices (Birnbaum, improvement
+   potential, risk achievement worth, Fussell-Vesely) for both lines of the
+   water-treatment facility, plus the expected time to first degradation
+   and to total service loss.
+
+   Run with: dune exec examples/importance_analysis.exe *)
+
+open Watertreatment
+
+let () =
+  List.iter
+    (fun line ->
+      Format.printf "=== %s (dedicated repair) ===@." (Facility.line_name line);
+      let m = Facility.analyze line Facility.ded in
+      Format.printf "availability:                 %.7f@." (Core.Measures.availability m);
+      Format.printf "mean time to degradation:     %.1f h@."
+        (Core.Measures.mean_time_to_degradation m);
+      Format.printf "mean time to total loss:      %.1f h@.@."
+        (Core.Measures.mean_time_to_service_loss m);
+      Core.Importance.pp_table Format.std_formatter
+        (Core.Importance.analyze (Core.Measures.built m));
+      Format.printf "@.")
+    [ Facility.Line1; Facility.Line2 ];
+  Format.printf
+    "Reading: the reservoir dominates Birnbaum importance on both lines (a@.\
+     single point of failure whose outage kills all service), while the@.\
+     sand filters dominate Fussell-Vesely on Line 2: their poor MTTR/MTTF@.\
+     ratio makes them the most frequent contributors to downtime. The@.\
+     softening tanks barely matter - triple redundancy plus a fast repair.@."

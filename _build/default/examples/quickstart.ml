@@ -1,0 +1,57 @@
+(* Quickstart: model a tiny redundant system in Arcade and compute its
+   dependability measures.
+
+   The system: two power supplies (one is enough), one controller. It is
+   down when the controller fails or both supplies fail. A single
+   first-come-first-served repair crew maintains everything.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Components: name, mean time to failure, mean time to repair. *)
+  let psu1 = Core.Component.make ~name:"psu1" ~mttf:4000. ~mttr:8. () in
+  let psu2 = Core.Component.make ~name:"psu2" ~mttf:4000. ~mttr:8. () in
+  let controller = Core.Component.make ~name:"controller" ~mttf:10000. ~mttr:24. () in
+
+  (* 2. A repair organisation: one FCFS crew for everything. *)
+  let crew =
+    Core.Repair.make ~name:"crew" ~strategy:Core.Repair.Fcfs
+      ~components:[ "psu1"; "psu2"; "controller" ] ()
+  in
+
+  (* 3. When is the system down? Both PSUs failed, or the controller. *)
+  let fault_tree =
+    Fault_tree.or_
+      [
+        Fault_tree.and_ [ Fault_tree.basic "psu1"; Fault_tree.basic "psu2" ];
+        Fault_tree.basic "controller";
+      ]
+  in
+
+  (* 4. Assemble and analyze. *)
+  let model =
+    Core.Model.make ~name:"quickstart" ~components:[ psu1; psu2; controller ]
+      ~repair_units:[ crew ] ~fault_tree ()
+  in
+  let m = Core.Measures.analyze model in
+  let built = Core.Measures.built m in
+  Format.printf "state space: %a@." Ctmc.Chain.pp_stats built.Core.Semantics.chain;
+  Format.printf "availability (fully operational): %.6f@." (Core.Measures.availability m);
+  Format.printf "availability (some service):      %.6f@."
+    (Core.Measures.any_service_availability m);
+  List.iter
+    (fun t ->
+      Format.printf "reliability over %5.0f h: %.6f@." t (Core.Measures.reliability m ~time:t))
+    [ 100.; 1000.; 5000. ];
+
+  (* 5. The same numbers through the CSL model-checking interface. *)
+  let csl = Core.Measures.to_csl_model m in
+  let query q =
+    match Csl.Checker.check_string csl q with
+    | Csl.Checker.Value v -> Format.printf "%-38s = %.6f@." q v
+    | Csl.Checker.Satisfied b -> Format.printf "%-38s = %b@." q b
+  in
+  query "S=? [ \"operational\" ]";
+  query "P=? [ true U<=1000 \"down\" ]";
+  query "R{\"cost\"}=? [ S ]";
+  query "P>=0.99 [ true U<=100 !\"down\" ]"

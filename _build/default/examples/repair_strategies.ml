@@ -1,0 +1,86 @@
+(* Compare repair strategies — including the extensions that go beyond the
+   paper (FCFS, explicit priority lists, preemptive scheduling, cold and
+   warm spares) — on a small data-centre model.
+
+   The system: one database, two application servers (one needed) and three
+   web servers (two needed, the third a cold spare that cannot fail while
+   dormant). The system is down when the database is down, both app servers
+   are down, or fewer than two web servers are up.
+
+   Run with: dune exec examples/repair_strategies.exe *)
+
+let components =
+  [
+    Core.Component.make ~name:"db" ~mttf:2000. ~mttr:48. ();
+    Core.Component.make ~name:"app1" ~mttf:800. ~mttr:4. ();
+    Core.Component.make ~name:"app2" ~mttf:800. ~mttr:4. ();
+    Core.Component.make ~name:"web1" ~mttf:500. ~mttr:2. ();
+    Core.Component.make ~name:"web2" ~mttf:500. ~mttr:2. ();
+    Core.Component.make ~name:"web3" ~mttf:500. ~mttr:2. ();
+  ]
+
+let names = [ "db"; "app1"; "app2"; "web1"; "web2"; "web3" ]
+
+let fault_tree =
+  Fault_tree.or_
+    [
+      Fault_tree.basic "db";
+      Fault_tree.and_ [ Fault_tree.basic "app1"; Fault_tree.basic "app2" ];
+      (* down when at least 2 of the 3 web servers are failed *)
+      Fault_tree.kofn 2
+        [ Fault_tree.basic "web1"; Fault_tree.basic "web2"; Fault_tree.basic "web3" ];
+    ]
+
+let cold_spare_web =
+  Core.Spare.make ~name:"web_spare" ~mode:Core.Spare.Cold
+    ~primaries:[ "web1"; "web2" ] ~spares:[ "web3" ] ()
+
+let model_with strategy ~crews ~preemptive =
+  Core.Model.make ~name:"datacentre" ~components
+    ~repair_units:
+      [
+        Core.Repair.make ~name:"ops" ~strategy ~crews ~preemptive ~components:names ();
+      ]
+    ~spare_units:[ cold_spare_web ] ~fault_tree ()
+
+let () =
+  Format.printf "=== Repair-strategy comparison on a data-centre model ===@.@.";
+  Format.printf "  %-22s %-8s %-12s %-12s %-10s@." "strategy" "states" "avail."
+    "P(down<=500h)" "cost/h";
+  let evaluate label model =
+    let m = Core.Measures.analyze model in
+    let built = Core.Measures.built m in
+    Format.printf "  %-22s %-8d %.8f   %.6f     %.4f@." label
+      (Ctmc.Chain.states built.Core.Semantics.chain)
+      (Core.Measures.availability m)
+      (Core.Measures.unreliability m ~time:500.)
+      (Core.Measures.steady_state_cost m)
+  in
+  evaluate "dedicated" (model_with Core.Repair.Dedicated ~crews:1 ~preemptive:false);
+  List.iter
+    (fun crews ->
+      evaluate
+        (Printf.sprintf "fcfs-%d" crews)
+        (model_with Core.Repair.Fcfs ~crews ~preemptive:false);
+      evaluate
+        (Printf.sprintf "frf-%d" crews)
+        (model_with Core.Repair.Frf ~crews ~preemptive:false);
+      evaluate
+        (Printf.sprintf "fff-%d" crews)
+        (model_with Core.Repair.Fff ~crews ~preemptive:false))
+    [ 1; 2 ];
+  (* an explicit priority list: protect the database first, then webs *)
+  evaluate "priority(db first)"
+    (model_with
+       (Core.Repair.Priority [ "db"; "web1"; "web2"; "web3"; "app1"; "app2" ])
+       ~crews:1 ~preemptive:false);
+  (* preemption: drop the wrench when something more urgent breaks *)
+  evaluate "frf-1 preemptive" (model_with Core.Repair.Frf ~crews:1 ~preemptive:true);
+  evaluate "priority preemptive"
+    (model_with
+       (Core.Repair.Priority [ "db"; "web1"; "web2"; "web3"; "app1"; "app2" ])
+       ~crews:1 ~preemptive:true);
+  Format.printf
+    "@.Notes: the cold web spare cannot fail while dormant, so \"dedicated\"@.\
+     here is not simply a product of independent components; preemptive@.\
+     priority scheduling trades lower downtime for repeated crew switches.@."

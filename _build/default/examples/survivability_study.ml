@@ -1,0 +1,68 @@
+(* Quantitative survivability (the paper's new measure) on Line 1 of the
+   water-treatment facility: after every pump fails at once (Disaster 1),
+   how fast is each service level restored, and what does the recovery
+   cost under each repair strategy?
+
+   Run with: dune exec examples/survivability_study.exe *)
+
+open Watertreatment
+
+let strategies = [ Facility.ded; Facility.frf 1; Facility.frf 2 ]
+
+let times = [ 0.5; 1.0; 2.0; 3.0; 4.5 ]
+
+let () =
+  Format.printf "=== Survivability after Disaster 1 (all Line-1 pumps fail) ===@.@.";
+  let analyzed =
+    List.map
+      (fun cfg ->
+        (cfg, Facility.analyze_after_disaster Facility.Line1 cfg
+                ~failed:(Facility.disaster1 Facility.Line1)))
+      strategies
+  in
+  (* Service intervals of Line 1: X1 = [1/3, 2/3), X2 = [2/3, 1), X3 = {1}.
+     Reaching X_i means restoring service >= its lower bound. *)
+  List.iteri
+    (fun i (low, _) ->
+      Format.printf "Recovery to X%d (service >= %.2f):@." (i + 1) low;
+      Format.printf "  %-8s" "t (h)";
+      List.iter (fun (cfg, _) -> Format.printf " %-10s" (Facility.config_name cfg)) analyzed;
+      Format.printf "@.";
+      List.iter
+        (fun t ->
+          Format.printf "  %-8.2f" t;
+          List.iter
+            (fun (_, m) ->
+              Format.printf " %.7f " (Core.Measures.survivability m ~service_level:low ~time:t))
+            analyzed;
+          Format.printf "@.")
+        times;
+      Format.printf "@.")
+    (Facility.service_intervals Facility.Line1);
+
+  (* The cost side of the trade-off (paper Figs. 6 and 7). *)
+  Format.printf "Instantaneous cost after the disaster:@.";
+  Format.printf "  %-8s" "t (h)";
+  List.iter (fun (cfg, _) -> Format.printf " %-10s" (Facility.config_name cfg)) analyzed;
+  Format.printf "@.";
+  List.iter
+    (fun t ->
+      Format.printf "  %-8.2f" t;
+      List.iter
+        (fun (_, m) -> Format.printf " %8.4f  " (Core.Measures.instantaneous_cost m ~time:t))
+        analyzed;
+      Format.printf "@.")
+    times;
+  Format.printf "@.Accumulated cost up to t:@.";
+  List.iter
+    (fun t ->
+      Format.printf "  %-8.2f" t;
+      List.iter
+        (fun (_, m) -> Format.printf " %8.4f  " (Core.Measures.accumulated_cost m ~time:t))
+        analyzed;
+      Format.printf "@.")
+    [ 2.; 5.; 10. ];
+  Format.printf
+    "@.Reading: DED recovers fastest but at the highest cost (idle crews);@.\
+     FRF-2 gets within a few percent of DED while accumulating less cost@.\
+     than FRF-1 during the recovery — the paper's main practical finding.@."

@@ -1,0 +1,1 @@
+lib/core/component.ml: Format List Printf

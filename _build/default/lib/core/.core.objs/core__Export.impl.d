@@ -1,0 +1,1 @@
+lib/core/export.ml: Array Buffer Component Ctmc Fault_tree Hashtbl List Model Numeric Printf Repair Semantics Spare String To_prism

@@ -1,0 +1,1 @@
+lib/core/export.mli: Fault_tree Model Semantics

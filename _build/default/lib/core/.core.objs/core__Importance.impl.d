@@ -1,0 +1,1 @@
+lib/core/importance.ml: Array Ctmc Fault_tree Format Hashtbl List Model Printf Semantics

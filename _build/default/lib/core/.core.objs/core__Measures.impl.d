@@ -1,0 +1,1 @@
+lib/core/measures.ml: Array Component Csl Ctmc Float List Model Numeric Printf Semantics

@@ -1,0 +1,1 @@
+lib/core/model.ml: Component Fault_tree Format Hashtbl List Printf Repair Spare String

@@ -1,0 +1,1 @@
+lib/core/model.mli: Component Fault_tree Format Repair Spare

@@ -1,0 +1,1 @@
+lib/core/repair.ml: Component Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/repair.mli: Component Format

@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Array Buffer Component Ctmc Fault_tree Hashtbl List Model Numeric Printexc Printf Queue Repair Spare

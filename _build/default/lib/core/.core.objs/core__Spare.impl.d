@@ -1,0 +1,1 @@
+lib/core/spare.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/to_prism.ml: Array Buffer Component Fault_tree Fun Hashtbl List Model Printexc Printf Prism Repair Semantics Spare Stdlib String

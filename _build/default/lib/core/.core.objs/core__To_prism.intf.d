@@ -1,0 +1,1 @@
+lib/core/to_prism.mli: Model Prism Semantics

@@ -1,0 +1,1 @@
+lib/core/xml_io.ml: Component Fault_tree List Model Printexc Printf Repair Spare String Xml_kit

@@ -1,0 +1,1 @@
+lib/core/xml_io.mli: Fault_tree Model Xml_kit

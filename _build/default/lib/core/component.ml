@@ -1,0 +1,79 @@
+type failure_mode = {
+  fm_name : string;
+  fm_mttf : float;
+  fm_mttr : float;
+  fm_failed_cost : float;
+  fm_repair_stages : int;
+}
+
+type t = {
+  name : string;
+  mttf : float;
+  mttr : float;
+  failed_cost : float;
+  operational_cost : float;
+  repair_stages : int;
+  extra_modes : failure_mode list;
+}
+
+let failure_mode ?(failed_cost = 3.) ?(repair_stages = 1) ~name ~mttf ~mttr () =
+  if name = "" then invalid_arg "Component.failure_mode: empty name";
+  if mttf <= 0. then invalid_arg "Component.failure_mode: MTTF must be positive";
+  if mttr <= 0. then invalid_arg "Component.failure_mode: MTTR must be positive";
+  if failed_cost < 0. then invalid_arg "Component.failure_mode: negative cost";
+  if repair_stages < 1 then invalid_arg "Component.failure_mode: stages must be >= 1";
+  {
+    fm_name = name;
+    fm_mttf = mttf;
+    fm_mttr = mttr;
+    fm_failed_cost = failed_cost;
+    fm_repair_stages = repair_stages;
+  }
+
+let make ?(failed_cost = 3.) ?(operational_cost = 0.) ?(repair_stages = 1)
+    ?(extra_modes = []) ~name ~mttf ~mttr () =
+  if name = "" then invalid_arg "Component.make: empty name";
+  if mttf <= 0. then invalid_arg "Component.make: MTTF must be positive";
+  if mttr <= 0. then invalid_arg "Component.make: MTTR must be positive";
+  if failed_cost < 0. || operational_cost < 0. then
+    invalid_arg "Component.make: negative cost rate";
+  if repair_stages < 1 then
+    invalid_arg "Component.make: repair stages must be at least 1";
+  let mode_names = "failed" :: List.map (fun m -> m.fm_name) extra_modes in
+  let sorted = List.sort compare mode_names in
+  let rec adjacent = function
+    | a :: (b :: _ as rest) -> a = b || adjacent rest
+    | [ _ ] | [] -> false
+  in
+  if adjacent sorted then invalid_arg "Component.make: duplicate failure-mode names";
+  { name; mttf; mttr; failed_cost; operational_cost; repair_stages; extra_modes }
+
+let failure_rate c = 1. /. c.mttf
+
+let repair_rate c = 1. /. c.mttr
+
+let stage_rate c = float_of_int c.repair_stages /. c.mttr
+
+let modes c =
+  {
+    fm_name = "failed";
+    fm_mttf = c.mttf;
+    fm_mttr = c.mttr;
+    fm_failed_cost = c.failed_cost;
+    fm_repair_stages = c.repair_stages;
+  }
+  :: c.extra_modes
+
+let mode c k =
+  match List.nth_opt (modes c) k with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Component.mode: %s has no mode %d" c.name k)
+
+let mode_failure_rate m = 1. /. m.fm_mttf
+
+let mode_stage_rate m = float_of_int m.fm_repair_stages /. m.fm_mttr
+
+let equal a b = a = b
+
+let pp ppf c =
+  Format.fprintf ppf "%s (MTTF %g h, MTTR %g h)" c.name c.mttf c.mttr

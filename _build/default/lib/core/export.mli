@@ -1,0 +1,20 @@
+(** Graphviz (DOT) export of models, fault trees and state spaces.
+
+    Produces self-contained [digraph] texts for documentation and debugging:
+    render with [dot -Tpdf model.dot -o model.pdf]. *)
+
+val fault_tree_to_dot : ?name:string -> Fault_tree.t -> string
+(** Gates as shaped nodes (AND = house, OR = inverted house, K-of-N =
+    hexagon labelled [k/n]), basic events as circles. *)
+
+val model_to_dot : Model.t -> string
+(** Architectural view: components as boxes annotated with MTTF/MTTR,
+    clustered by repair unit (with strategy and crew count in the cluster
+    label), spare-management relations as dashed edges, and the fault tree
+    attached to its basic events. *)
+
+val chain_to_dot : ?max_states:int -> Semantics.built -> string
+(** The explicit CTMC with states labelled by their failed-component sets
+    and shaded by quantitative service level; edges carry rates. Raises
+    [Invalid_argument] when the chain exceeds [max_states] (default [500])
+    — DOT rendering beyond that is unreadable anyway. *)

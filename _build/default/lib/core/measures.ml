@@ -1,0 +1,209 @@
+module Chain = Ctmc.Chain
+
+type t = {
+  built : Semantics.built;
+  csl : Csl.Checker.model;
+}
+
+let level_label_name levels x =
+  let rec position i = function
+    | [] -> invalid_arg "Measures: unknown service level"
+    | l :: rest -> if Float.abs (l -. x) < 1e-9 then i else position (i + 1) rest
+  in
+  Printf.sprintf "sl_ge_%d" (position 0 levels)
+
+let make_csl_model built =
+  let levels = Model.service_levels built.Semantics.model in
+  let model = built.Semantics.model in
+  let component_labels =
+    List.concat_map
+      (fun name ->
+        (name ^ "_failed", Semantics.literal_pred built name)
+        :: List.filter_map
+             (fun m ->
+               if m.Component.fm_name = "failed" then None
+               else
+                 let literal = name ^ ":" ^ m.Component.fm_name in
+                 Some (literal, Semantics.literal_pred built literal))
+             (Component.modes (Model.component model name)))
+      (Model.component_names model)
+  in
+  let labels =
+    [
+      ("down", Semantics.down_pred built);
+      ("operational", Semantics.operational_pred built);
+      ("full_service", Semantics.service_at_least built 1.);
+    ]
+    @ List.mapi
+        (fun i level ->
+          (Printf.sprintf "sl_ge_%d" i, Semantics.service_at_least built level))
+        levels
+    @ component_labels
+  in
+  let rewards =
+    [
+      (Some "cost", Semantics.cost_structure built);
+      (Some "component_cost", Semantics.component_cost_structure built);
+      (Some "repair_cost", Semantics.repair_cost_structure built);
+    ]
+  in
+  Csl.Checker.of_chain ~labels ~rewards built.Semantics.chain
+
+let analyze ?max_states ?initial model =
+  let built = Semantics.build ?max_states ?initial model in
+  { built; csl = make_csl_model built }
+
+let analyze_mixed_disasters ?max_states model disasters =
+  if disasters = [] then invalid_arg "Measures.analyze_mixed_disasters: empty mixture";
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. disasters in
+  if total <= 0. then
+    invalid_arg "Measures.analyze_mixed_disasters: non-positive total weight";
+  (* build from the heaviest disaster so the exploration definitely contains
+     it; the other disaster states are reachable (components repair), and we
+     assert as much when indexing them *)
+  let sorted = List.sort (fun (a, _) (b, _) -> compare b a) disasters in
+  let states = List.map (fun (w, failed) -> (w, Semantics.disaster_state model ~failed)) sorted in
+  let _, first = List.hd states in
+  let built = Semantics.build ?max_states ~initial:first model in
+  let chain = built.Semantics.chain in
+  let init = Numeric.Vec.zeros (Ctmc.Chain.states chain) in
+  List.iter
+    (fun (w, state) ->
+      match built.Semantics.state_index state with
+      | Some s -> init.(s) <- init.(s) +. (w /. total)
+      | None ->
+          invalid_arg
+            "Measures.analyze_mixed_disasters: disaster state unreachable from the              heaviest disaster")
+    states;
+  let built = { built with Semantics.chain = Ctmc.Chain.with_init chain init } in
+  { built; csl = make_csl_model built }
+
+let built t = t.built
+
+let to_csl_model t = t.csl
+
+let csl_queries t =
+  let levels = Model.service_levels t.built.Semantics.model in
+  [
+    ("unreliability(t)", "P=? [ true U<=1000 \"down\" ]");
+    ("availability", "S=? [ \"operational\" ]");
+    ("recovery(t)", "P=? [ true U<=10 \"full_service\" ]");
+    ( "survivability(x, t)",
+      Printf.sprintf "P=? [ true U<=10 \"%s\" ]"
+        (level_label_name levels (List.nth levels (List.length levels - 1))) );
+    ("instantaneous cost", "R{\"cost\"}=? [ I=4.5 ]");
+    ("accumulated cost", "R{\"cost\"}=? [ C<=10 ]");
+    ("steady-state cost", "R{\"cost\"}=? [ S ]");
+  ]
+
+let chain t = t.built.Semantics.chain
+
+let not_fully_operational t =
+  let full = Semantics.service_at_least t.built 1. in
+  fun s -> not (full s)
+
+let unreliability t ~time =
+  Ctmc.Reachability.bounded_until_from_init (chain t)
+    ~phi:(fun _ -> true)
+    ~psi:(not_fully_operational t) ~bound:time
+
+let reliability t ~time = 1. -. unreliability t ~time
+
+let reliability_curve t ~times =
+  let points =
+    Ctmc.Reachability.bounded_until_curve (chain t)
+      ~phi:(fun _ -> true)
+      ~psi:(not_fully_operational t) ~bounds:times
+  in
+  List.map (fun (time, p) -> (time, 1. -. p)) points
+
+let availability t =
+  Ctmc.Steady_state.long_run_probability (chain t)
+    ~pred:(Semantics.service_at_least t.built 1.)
+
+let any_service_availability t =
+  Ctmc.Steady_state.long_run_probability (chain t)
+    ~pred:(Semantics.operational_pred t.built)
+
+let instantaneous_availability t ~time =
+  Ctmc.Transient.probability_at (chain t)
+    ~pred:(Semantics.service_at_least t.built 1.)
+    time
+
+let mean_time_to_degradation t =
+  Ctmc.Absorption.mean_time_from_init (chain t) ~psi:(not_fully_operational t)
+
+let mean_time_to_service_loss t =
+  Ctmc.Absorption.mean_time_from_init (chain t) ~psi:(Semantics.down_pred t.built)
+
+let survivability t ~service_level ~time =
+  Ctmc.Reachability.bounded_until_from_init (chain t)
+    ~phi:(fun _ -> true)
+    ~psi:(Semantics.service_at_least t.built service_level)
+    ~bound:time
+
+let survivability_curve t ~service_level ~times =
+  Ctmc.Reachability.bounded_until_curve (chain t)
+    ~phi:(fun _ -> true)
+    ~psi:(Semantics.service_at_least t.built service_level)
+    ~bounds:times
+
+let recovery_probability t ~time = survivability t ~service_level:1. ~time
+
+(* Translate a witness path over chain states into component-event
+   descriptions by diffing consecutive states. *)
+let describe_scenario t psi =
+  match Ctmc.Witness.most_probable_path (chain t) ~psi with
+  | None -> None
+  | Some w ->
+      let built = t.built in
+      let names = Array.of_list (Model.component_names built.Semantics.model) in
+      let rec diffs = function
+        | a :: (b :: _ as rest) ->
+            let sa = built.Semantics.states.(a) and sb = built.Semantics.states.(b) in
+            let events = ref [] in
+            Array.iteri
+              (fun i name ->
+                if sa.Semantics.up.(i) && not sb.Semantics.up.(i) then
+                  events := Printf.sprintf "%s fails" name :: !events
+                else if (not sa.Semantics.up.(i)) && sb.Semantics.up.(i) then
+                  events := Printf.sprintf "%s repaired" name :: !events
+                else if sa.Semantics.stage.(i) <> sb.Semantics.stage.(i) then
+                  events := Printf.sprintf "%s repair progresses" name :: !events)
+              names;
+            List.rev !events @ diffs rest
+        | [ _ ] | [] -> []
+      in
+      (match w.Ctmc.Witness.states with
+      | [] | [ _ ] -> None (* already in the target: no scenario to tell *)
+      | path -> Some (diffs path, w.Ctmc.Witness.probability))
+
+let most_likely_degradation_scenario t = describe_scenario t (not_fully_operational t)
+
+let most_likely_loss_scenario t = describe_scenario t (Semantics.down_pred t.built)
+
+let instantaneous_cost t ~time =
+  Ctmc.Rewards.instantaneous (chain t)
+    ~reward:(Semantics.cost_structure t.built)
+    ~at:time
+
+let accumulated_cost t ~time =
+  Ctmc.Rewards.accumulated (chain t)
+    ~reward:(Semantics.cost_structure t.built)
+    ~upto:time
+
+let instantaneous_cost_curve t ~times =
+  Ctmc.Rewards.instantaneous_curve (chain t)
+    ~reward:(Semantics.cost_structure t.built)
+    ~times
+
+let accumulated_cost_curve t ~times =
+  Ctmc.Rewards.accumulated_curve (chain t)
+    ~reward:(Semantics.cost_structure t.built)
+    ~times
+
+let steady_state_cost t =
+  Ctmc.Rewards.steady_state (chain t) ~reward:(Semantics.cost_structure t.built)
+
+let combined_availability avails =
+  1. -. List.fold_left (fun acc a -> acc *. (1. -. a)) 1. avails

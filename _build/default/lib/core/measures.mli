@@ -1,0 +1,117 @@
+(** The paper's dependability and performability measures, as a high-level
+    API over an Arcade model.
+
+    Every measure corresponds to a CSL/CSRL query (Section 3 of the paper);
+    the CSL strings are exposed through {!to_csl_model} and
+    {!csl_queries} so the same numbers can be reproduced through the
+    {!Csl.Checker} pipeline. *)
+
+type t = {
+  built : Semantics.built;
+  csl : Csl.Checker.model;
+}
+
+val analyze : ?max_states:int -> ?initial:Semantics.state -> Model.t -> t
+(** Build the state space once; all measures below reuse it. *)
+
+val analyze_mixed_disasters :
+  ?max_states:int -> Model.t -> (float * string list) list -> t
+(** GOOD analysis under an uncertain disaster: each [(weight, failed)] pair
+    contributes a disaster state with the given probability (weights are
+    normalized). Survivability and cost measures then average over the
+    disaster distribution — e.g. "two pumps fail with probability 0.9, all
+    four with probability 0.1". Raises [Invalid_argument] on an empty list
+    or non-positive total weight. *)
+
+val built : t -> Semantics.built
+
+val to_csl_model : t -> Csl.Checker.model
+(** A CSL model with labels ["down"], ["operational"], ["full_service"],
+    ["sl_ge_<k>"] for each service level (k the level index),
+    ["<component>_failed"] per component (any mode) and
+    ["<component>:<mode>"] per extra failure mode, plus the reward
+    structures ["cost"], ["component_cost"], ["repair_cost"]. *)
+
+val csl_queries : t -> (string * string) list
+(** Named example queries (measure name, CSL text) covering the paper's
+    Section 3, evaluable against {!to_csl_model}. *)
+
+(** {2 Dependability measures} *)
+
+val unreliability : t -> time:float -> float
+(** [P=? (true U<=t "not fully operational")]. The paper's Fig. 3 defines
+    S_down as "the process line is not fully operational" (service < 1,
+    i.e. beyond the spare allowance); this follows that choice. Use a
+    repair-free model ({!Model.without_repairs}) for a pure reliability
+    reading; on a repairable chain this is the probability of a first
+    service degradation before [t]. *)
+
+val reliability : t -> time:float -> float
+(** [1 - unreliability]. *)
+
+val reliability_curve : t -> times:float list -> (float * float) list
+
+val availability : t -> float
+(** Long-run probability that the line is {e fully} operational (service
+    level 1) — the paper's Table 2 measure. *)
+
+val any_service_availability : t -> float
+(** Long-run probability that the fault tree evaluates to false, i.e. that
+    {e some} service is delivered. *)
+
+val instantaneous_availability : t -> time:float -> float
+(** Probability of being operational at time [t]. *)
+
+val mean_time_to_degradation : t -> float
+(** Expected time until the line is first not fully operational (system
+    MTTF with respect to the full-service condition), from the initial
+    state. Uses the expected-hitting-time engine ({!Ctmc.Absorption}). *)
+
+val mean_time_to_service_loss : t -> float
+(** Expected time until the fault tree first evaluates to true (total loss
+    of service). *)
+
+(** {2 Survivability (the paper's new measure)} *)
+
+val survivability : t -> service_level:float -> time:float -> float
+(** For a [t] built from a disaster state ({!Semantics.disaster_state}):
+    probability that a service level of at least [service_level] is
+    restored within [time] hours — [P=? (true U<=time S_sl(x))]. *)
+
+val survivability_curve :
+  t -> service_level:float -> times:float list -> (float * float) list
+
+val recovery_probability : t -> time:float -> float
+(** Recovery to {e full} service (level 1). *)
+
+val most_likely_degradation_scenario : t -> (string list * float) option
+(** The most probable event sequence (component failures/repairs, as
+    human-readable descriptions) leading from the initial state to a
+    not-fully-operational state, with the probability of that jump
+    sequence in the embedded chain ({!Ctmc.Witness}). [None] if the
+    initial state is already degraded (trivial) or degradation is
+    unreachable. *)
+
+val most_likely_loss_scenario : t -> (string list * float) option
+(** As above, but to total service loss (the fault tree). *)
+
+(** {2 Costs (CSRL reward measures)} *)
+
+val instantaneous_cost : t -> time:float -> float
+(** [R{"cost"}=? (I=t)]. *)
+
+val accumulated_cost : t -> time:float -> float
+(** [R{"cost"}=? (C<=t)]. *)
+
+val instantaneous_cost_curve : t -> times:float list -> (float * float) list
+
+val accumulated_cost_curve : t -> times:float list -> (float * float) list
+
+val steady_state_cost : t -> float
+
+(** {2 Combining independent subsystems} *)
+
+val combined_availability : float list -> float
+(** Availability of a parallel composition of independent lines: at least
+    one line available, [1 - prod (1 - a_i)] — the paper's
+    [A1 + A2 - A1 A2] generalized. *)

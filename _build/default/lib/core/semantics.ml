@@ -1,0 +1,492 @@
+module Vec = Numeric.Vec
+module Sparse = Numeric.Sparse
+module Chain = Ctmc.Chain
+
+type state = {
+  up : bool array;
+  in_repair : int list array;
+  queue : int list array;
+  stage : int array;
+      (* completed Erlang repair stages per component (0 when repair has not
+         progressed); only ever non-zero for components with repair_stages
+         greater than 1 *)
+  failed_mode : int array;
+      (* index of the active failure mode per component (0 = the primary
+         mode; only meaningful while the component is down) *)
+}
+
+type built = {
+  model : Model.t;
+  chain : Chain.t;
+  states : state array;
+  component_index : string -> int;
+  state_index : state -> int option;
+}
+
+exception Build_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Build_error msg -> Some (Printf.sprintf "Core.Semantics.Build_error (%s)" msg)
+    | _ -> None)
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Build_error msg)) fmt
+
+(* Static per-model data precomputed once per build. *)
+type ctx = {
+  comps : Component.t array;
+  modes : Component.failure_mode array array; (* per component *)
+  index : (string, int) Hashtbl.t;
+  rus : Repair.t array;
+  ru_of : int option array; (* repair-unit index per component *)
+  rank : int array array;
+      (* scheduling rank per component and failure mode (0 when no RU);
+         under FRF/FFF the mode determines the repair/failure rate and
+         hence the priority *)
+  smu_of : Spare.t option array;
+}
+
+let make_ctx model =
+  let comps = Array.of_list model.Model.components in
+  let index = Hashtbl.create (Array.length comps) in
+  Array.iteri (fun i c -> Hashtbl.replace index c.Component.name i) comps;
+  let modes = Array.map (fun c -> Array.of_list (Component.modes c)) comps in
+  let rus = Array.of_list model.Model.repair_units in
+  let n = Array.length comps in
+  let ru_of = Array.make n None in
+  Array.iteri
+    (fun u ru ->
+      List.iter
+        (fun name -> ru_of.(Hashtbl.find index name) <- Some u)
+        ru.Repair.components)
+    rus;
+  (* per-unit rank tables: distinct rate values across every (component,
+     mode) pair of the unit, ascending *)
+  let rank = Array.init n (fun i -> Array.make (Array.length modes.(i)) 0) in
+  Array.iteri
+    (fun u ru ->
+      let members =
+        List.map (fun name -> Hashtbl.find index name) ru.Repair.components
+      in
+      let value_of i m =
+        match ru.Repair.strategy with
+        | Repair.Dedicated | Repair.Fcfs -> 0.
+        | Repair.Frf -> modes.(i).(m).Component.fm_mttr
+        | Repair.Fff -> modes.(i).(m).Component.fm_mttf
+        | Repair.Priority order ->
+            let rec position p = function
+              | [] -> 0.
+              | c :: rest ->
+                  if c = comps.(i).Component.name then float_of_int p
+                  else position (p + 1) rest
+            in
+            position 0 order
+      in
+      let values =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun i ->
+               List.init (Array.length modes.(i)) (fun m -> value_of i m))
+             members)
+      in
+      let rank_of v =
+        let rec position p = function
+          | [] -> 0
+          | x :: rest -> if x = v then p else position (p + 1) rest
+        in
+        position 0 values
+      in
+      List.iter
+        (fun i ->
+          Array.iteri (fun m _ -> rank.(i).(m) <- rank_of (value_of i m)) modes.(i))
+        members;
+      ignore u)
+    rus;
+  let smu_of =
+    Array.init n (fun i ->
+        Model.spare_unit_of model comps.(i).Component.name)
+  in
+  { comps; modes; index; rus; ru_of; rank; smu_of }
+
+(* the scheduling rank of a failed component in a given state *)
+let current_rank ctx state i = ctx.rank.(i).(state.failed_mode.(i))
+
+let component_count ctx = Array.length ctx.comps
+
+(* Failure-rate multiplier of component [i] in a state: 1 unless the
+   component is a dormant member of a spare unit. *)
+let failure_factor ctx state i =
+  match ctx.smu_of.(i) with
+  | None -> 1.
+  | Some smu ->
+      let up name = state.up.(Hashtbl.find ctx.index name) in
+      let assignments = Spare.active_set smu ~up in
+      let name = ctx.comps.(i).Component.name in
+      let active = try List.assoc name assignments with Not_found -> false in
+      if active then 1. else Spare.dormancy_factor smu
+
+let is_dedicated ru = ru.Repair.strategy = Repair.Dedicated
+
+(* The set of components a unit is currently repairing. *)
+let repairing ctx state u =
+  let ru = ctx.rus.(u) in
+  if is_dedicated ru then
+    List.filter_map
+      (fun name ->
+        let i = Hashtbl.find ctx.index name in
+        if state.up.(i) then None else Some i)
+      ru.Repair.components
+  else if ru.Repair.preemptive then begin
+    (* the canonical queue is rank-sorted with FCFS inside each class, so
+       the crews work on its prefix *)
+    let rec take k = function
+      | [] -> []
+      | i :: rest -> if k = 0 then [] else i :: take (k - 1) rest
+    in
+    take ru.Repair.crews state.queue.(u)
+  end
+  else state.in_repair.(u)
+
+(* Pick the most urgent waiting component: the canonical queue's head
+   (minimal rank, earliest arrival within its rank class). *)
+let pick_next queue =
+  match queue with [] -> None | chosen :: rest -> Some (chosen, rest)
+
+(* Queues are kept in canonical form: stably sorted by scheduling rank.
+   Dispatch only ever takes the queue head (minimal rank, earliest arrival
+   within its rank class), so two states whose queues differ only in the
+   interleaving of different rank classes are bisimilar; canonicalizing at
+   insertion collapses them and shrinks the state space by orders of
+   magnitude on models with many rate classes. *)
+let enqueue ctx state queue i =
+  let rank = current_rank ctx state i in
+  let rec go = function
+    | [] -> [ i ]
+    | x :: rest as full ->
+        if current_rank ctx state x > rank then i :: full else x :: go rest
+  in
+  go queue
+
+let insert_sorted i l =
+  let rec go = function
+    | [] -> [ i ]
+    | x :: rest as full -> if i < x then i :: full else x :: go rest
+  in
+  go l
+
+let copy_state state =
+  {
+    up = Array.copy state.up;
+    in_repair = Array.copy state.in_repair;
+    queue = Array.copy state.queue;
+    stage = Array.copy state.stage;
+    failed_mode = Array.copy state.failed_mode;
+  }
+
+(* Transitions out of a state: (rate, successor) list. *)
+let successors ctx state =
+  let n = component_count ctx in
+  let out = ref [] in
+  (* failures: one transition per failure mode *)
+  for i = 0 to n - 1 do
+    if state.up.(i) then begin
+      let factor = failure_factor ctx state i in
+      if factor > 0. then
+        Array.iteri
+          (fun m fm ->
+            let rate = Component.mode_failure_rate fm *. factor in
+            let s' = copy_state state in
+            s'.up.(i) <- false;
+            s'.failed_mode.(i) <- m;
+            (match ctx.ru_of.(i) with
+            | None -> ()
+            | Some u ->
+                let ru = ctx.rus.(u) in
+                if is_dedicated ru then ()
+                else if ru.Repair.preemptive then
+                  s'.queue.(u) <- enqueue ctx s' s'.queue.(u) i
+                else if List.length s'.in_repair.(u) < ru.Repair.crews then
+                  s'.in_repair.(u) <- insert_sorted i s'.in_repair.(u)
+                else s'.queue.(u) <- enqueue ctx s' s'.queue.(u) i);
+            out := (rate, s') :: !out)
+          ctx.modes.(i)
+    end
+  done;
+  (* repair progress and completions. Repairs are Erlang-[k] distributed:
+     each of the [k] stages completes at rate [k / mttr]; the state tracks
+     the completed-stage count, so an interrupted repair resumes where it
+     stopped (preemptive-resume; for k = 1 this is the memoryless case). *)
+  Array.iteri
+    (fun u ru ->
+      List.iter
+        (fun i ->
+          let fm = ctx.modes.(i).(state.failed_mode.(i)) in
+          let stages = fm.Component.fm_repair_stages in
+          let rate = Component.mode_stage_rate fm in
+          if state.stage.(i) < stages - 1 then begin
+            (* an intermediate stage completes *)
+            let s' = copy_state state in
+            s'.stage.(i) <- s'.stage.(i) + 1;
+            out := (rate, s') :: !out
+          end
+          else begin
+            (* the final stage completes: the component is repaired *)
+            let s' = copy_state state in
+            s'.up.(i) <- true;
+            s'.stage.(i) <- 0;
+            s'.failed_mode.(i) <- 0;
+            if is_dedicated ru then ()
+            else if ru.Repair.preemptive then
+              s'.queue.(u) <- List.filter (fun j -> j <> i) s'.queue.(u)
+            else begin
+              s'.in_repair.(u) <- List.filter (fun j -> j <> i) s'.in_repair.(u);
+              let rec dispatch () =
+                if List.length s'.in_repair.(u) < ru.Repair.crews then
+                  match pick_next s'.queue.(u) with
+                  | None -> ()
+                  | Some (chosen, rest) ->
+                      s'.in_repair.(u) <- insert_sorted chosen s'.in_repair.(u);
+                      s'.queue.(u) <- rest;
+                      dispatch ()
+              in
+              dispatch ()
+            end;
+            out := (rate, s') :: !out
+          end)
+        (repairing ctx state u))
+    ctx.rus;
+  !out
+
+(* Canonical string encoding of a state, used as the hash key (the default
+   polymorphic hash only inspects a bounded prefix of the structure, which
+   would degenerate on large state vectors). *)
+let encode state =
+  let buf = Buffer.create 64 in
+  Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) state.up;
+  Array.iter
+    (fun l ->
+      Buffer.add_char buf '|';
+      List.iter
+        (fun i ->
+          Buffer.add_string buf (string_of_int i);
+          Buffer.add_char buf ',')
+        l)
+    state.in_repair;
+  Array.iter
+    (fun l ->
+      Buffer.add_char buf '/';
+      List.iter
+        (fun i ->
+          Buffer.add_string buf (string_of_int i);
+          Buffer.add_char buf ',')
+        l)
+    state.queue;
+  Array.iter
+    (fun k ->
+      if k > 0 then begin
+        Buffer.add_char buf '.';
+        Buffer.add_string buf (string_of_int k)
+      end
+      else Buffer.add_char buf '-')
+    state.stage;
+  Array.iter
+    (fun m ->
+      if m > 0 then begin
+        Buffer.add_char buf 'm';
+        Buffer.add_string buf (string_of_int m)
+      end)
+    state.failed_mode;
+  Buffer.contents buf
+
+let all_up_state model =
+  let n = List.length model.Model.components in
+  let nru = List.length model.Model.repair_units in
+  {
+    up = Array.make n true;
+    in_repair = Array.make nru [];
+    queue = Array.make nru [];
+    stage = Array.make n 0;
+    failed_mode = Array.make n 0;
+  }
+
+let disaster_state model ~failed =
+  let ctx = make_ctx model in
+  let n = component_count ctx in
+  let state = all_up_state model in
+  List.iter
+    (fun literal ->
+      let name, mode_name = Model.split_literal literal in
+      match Hashtbl.find_opt ctx.index name with
+      | Some i ->
+          state.up.(i) <- false;
+          (match mode_name with
+          | None -> state.failed_mode.(i) <- 0
+          | Some mn ->
+              let rec position m = function
+                | [] -> error "disaster_state: %s has no failure mode %s" name mn
+                | fm :: rest ->
+                    if fm.Component.fm_name = mn then m else position (m + 1) rest
+              in
+              state.failed_mode.(i) <- position 0 (Array.to_list ctx.modes.(i)))
+      | None -> error "disaster_state: unknown component %s" name)
+    failed;
+  (* queue construction per unit: failed members ordered by (rank, model
+     order); crews dispatched to the head *)
+  Array.iteri
+    (fun u ru ->
+      if not (is_dedicated ru) then begin
+        let failed_members = ref [] in
+        for i = n - 1 downto 0 do
+          if (not state.up.(i)) && ctx.ru_of.(i) = Some u then
+            failed_members := i :: !failed_members
+        done;
+        let ordered =
+          List.stable_sort
+            (fun a b -> compare (current_rank ctx state a) (current_rank ctx state b))
+            !failed_members
+        in
+        if ru.Repair.preemptive then state.queue.(u) <- ordered
+        else begin
+          let rec split k = function
+            | [] -> ([], [])
+            | x :: rest ->
+                if k = 0 then ([], x :: rest)
+                else
+                  let taken, waiting = split (k - 1) rest in
+                  (x :: taken, waiting)
+          in
+          let taken, waiting = split ru.Repair.crews ordered in
+          state.in_repair.(u) <- List.sort compare taken;
+          state.queue.(u) <- waiting
+        end
+      end)
+    ctx.rus;
+  state
+
+let build ?(max_states = 5_000_000) ?initial model =
+  let ctx = make_ctx model in
+  let initial = match initial with Some s -> s | None -> all_up_state model in
+  if Array.length initial.up <> component_count ctx then
+    error "build: initial state has wrong component count";
+  let table : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let states_rev = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern s =
+    let key = encode s in
+    match Hashtbl.find_opt table key with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        if i >= max_states then error "state space exceeds max_states = %d" max_states;
+        Hashtbl.replace table key i;
+        states_rev := s :: !states_rev;
+        incr count;
+        Queue.add (s, i) queue;
+        i
+  in
+  ignore (intern initial);
+  let transitions = ref [] in
+  while not (Queue.is_empty queue) do
+    let s, i = Queue.pop queue in
+    List.iter
+      (fun (rate, s') ->
+        let j = intern s' in
+        if i <> j then transitions := (i, j, rate) :: !transitions)
+      (successors ctx s)
+  done;
+  let n = !count in
+  let states = Array.make n initial in
+  List.iteri (fun k s -> states.(n - 1 - k) <- s) !states_rev;
+  let b = Sparse.Builder.create ~rows:n ~cols:n in
+  List.iter (fun (i, j, r) -> Sparse.Builder.add b i j r) !transitions;
+  let chain = Chain.make ~init:(Vec.unit n 0) (Sparse.Builder.to_csr b) in
+  {
+    model;
+    chain;
+    states;
+    component_index =
+      (fun name ->
+        match Hashtbl.find_opt ctx.index name with
+        | Some i -> i
+        | None -> error "unknown component %s" name);
+    state_index = (fun s -> Hashtbl.find_opt table (encode s));
+  }
+
+let component_up built s name =
+  built.states.(s).up.(built.component_index name)
+
+(* fault-tree literal evaluation: "c" is true when the component is failed
+   in any mode; "c:m" when it is failed in that specific mode *)
+let literal_pred built literal =
+  let name, mode_name = Model.split_literal literal in
+  let i = built.component_index name in
+  match mode_name with
+  | None -> fun s -> not built.states.(s).up.(i)
+  | Some mn ->
+      let comp = Model.component built.model name in
+      let rec position m = function
+        | [] -> Build_error (Printf.sprintf "unknown failure mode %s:%s" name mn) |> raise
+        | fm :: rest -> if fm.Component.fm_name = mn then m else position (m + 1) rest
+      in
+      let mode_index = position 0 (Component.modes comp) in
+      fun s ->
+        let st = built.states.(s) in
+        (not st.up.(i)) && st.failed_mode.(i) = mode_index
+
+let truth_of_state built s =
+  fun literal -> literal_pred built literal s
+
+let down_pred built s = Fault_tree.eval built.model.Model.fault_tree (truth_of_state built s)
+
+let operational_pred built s = not (down_pred built s)
+
+let service_level built s =
+  let tree = Model.service_tree built.model in
+  let truth = truth_of_state built s in
+  Fault_tree.eval_quantitative tree (fun literal -> if truth literal then 0. else 1.)
+
+let service_at_least built x =
+  fun s -> service_level built s >= x -. 1e-9
+
+let under_repair built s =
+  let ctx = make_ctx built.model in
+  let state = built.states.(s) in
+  List.concat (List.init (Array.length ctx.rus) (fun u -> repairing ctx state u))
+
+(* Cost structures. The context is rebuilt per call; these run once per
+   analysis, over every state, so we inline the loop. *)
+let cost_structures built =
+  let ctx = make_ctx built.model in
+  let n = Array.length built.states in
+  let comp_cost = Vec.zeros n in
+  let ru_cost = Vec.zeros n in
+  for s = 0 to n - 1 do
+    let state = built.states.(s) in
+    Array.iteri
+      (fun i c ->
+        comp_cost.(s) <-
+          comp_cost.(s)
+          +.
+          if state.up.(i) then c.Component.operational_cost
+          else ctx.modes.(i).(state.failed_mode.(i)).Component.fm_failed_cost)
+      ctx.comps;
+    Array.iteri
+      (fun u ru ->
+        let busy = List.length (repairing ctx state u) in
+        let idle = Repair.crew_count ru - busy in
+        ru_cost.(s) <-
+          ru_cost.(s)
+          +. (float_of_int busy *. ru.Repair.busy_cost)
+          +. (float_of_int idle *. ru.Repair.idle_cost))
+      ctx.rus
+  done;
+  (comp_cost, ru_cost)
+
+let component_cost_structure built = fst (cost_structures built)
+
+let repair_cost_structure built = snd (cost_structures built)
+
+let cost_structure built =
+  let comp, ru = cost_structures built in
+  Vec.add comp ru

@@ -1,0 +1,596 @@
+open Prism.Ast
+
+exception Untranslatable of string
+
+let () =
+  Printexc.register_printer (function
+    | Untranslatable msg -> Some (Printf.sprintf "Core.To_prism.Untranslatable (%s)" msg)
+    | _ -> None)
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Untranslatable msg)) fmt
+
+let sanitize name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+      then Buffer.add_char buf c
+      else Buffer.add_char buf '_')
+    name;
+  let s = Buffer.contents buf in
+  if s = "" then "x"
+  else if s.[0] >= '0' && s.[0] <= '9' then "c_" ^ s
+  else s
+
+(* Expression helpers *)
+let int_ i = Int_lit i
+let real r = Real_lit r
+let var name = Var name
+let ( ==. ) a b = Binop (Eq, a, b)
+let ( <>. ) a b = Binop (Neq, a, b)
+let ( <. ) a b = Binop (Lt, a, b)
+let ( >=. ) a b = Binop (Ge, a, b)
+let ( &&. ) a b = Binop (And, a, b)
+let ( +. ) a b = Binop (Add, a, b)
+let ( -. ) a b = Binop (Sub, a, b)
+let ( *. ) a b = Binop (Mul, a, b)
+let ( /. ) a b = Binop (Div, a, b)
+let ite c a b = Ite (c, a, b)
+
+let conj = function
+  | [] -> Bool_lit true
+  | e :: rest -> List.fold_left ( &&. ) e rest
+
+let sum = function
+  | [] -> Int_lit 0
+  | e :: rest -> List.fold_left ( +. ) e rest
+
+(* Per-component naming *)
+let v_st name = sanitize name ^ "_st"
+let v_up name = sanitize name ^ "_up"
+let f_failed name = sanitize name ^ "_failed"
+let v_q name = sanitize name ^ "_q"
+let v_done name = sanitize name ^ "_done"
+
+type comp_kind =
+  | Queued of int (* repair-unit index *)
+  | Boolean (* dedicated or unrepaired: a single up/down bool *)
+
+type ctx = {
+  model : Model.t;
+  comps : Component.t array;
+  index : (string, int) Hashtbl.t;
+  rus : Repair.t array;
+  kind : comp_kind array;
+  rank : int array;
+  class_members : (int * int, string list) Hashtbl.t; (* (ru, rank) -> names *)
+}
+
+let make_ctx model =
+  let comps = Array.of_list model.Model.components in
+  let index = Hashtbl.create (Array.length comps) in
+  Array.iteri (fun i c -> Hashtbl.replace index c.Component.name i) comps;
+  let rus = Array.of_list model.Model.repair_units in
+  let kind = Array.make (Array.length comps) Boolean in
+  Array.iteri
+    (fun u ru ->
+      if ru.Repair.preemptive then
+        fail "repair unit %s is preemptive; only the direct semantics supports preemption"
+          ru.Repair.name;
+      if ru.Repair.strategy <> Repair.Dedicated then
+        List.iter
+          (fun name -> kind.(Hashtbl.find index name) <- Queued u)
+          ru.Repair.components)
+    rus;
+  List.iter
+    (fun smu ->
+      match smu.Spare.mode with
+      | Spare.Hot -> ()
+      | Spare.Warm _ | Spare.Cold ->
+          fail "spare unit %s is not hot; only the direct semantics supports dormancy"
+            smu.Spare.name)
+    model.Model.spare_units;
+  Array.iter
+    (fun c ->
+      if c.Component.extra_modes <> [] then
+        fail
+          "component %s has multiple failure modes; only the direct semantics supports \
+           them"
+          c.Component.name)
+    comps;
+  let lookup name = comps.(Hashtbl.find index name) in
+  let rank =
+    Array.init (Array.length comps) (fun i ->
+        match Model.repair_unit_of model comps.(i).Component.name with
+        | None -> 0
+        | Some ru -> Repair.priority_rank ru lookup comps.(i).Component.name)
+  in
+  let class_members = Hashtbl.create 16 in
+  Array.iteri
+    (fun u ru ->
+      if ru.Repair.strategy <> Repair.Dedicated then
+        List.iter
+          (fun name ->
+            let r = rank.(Hashtbl.find index name) in
+            let cur = try Hashtbl.find class_members (u, r) with Not_found -> [] in
+            Hashtbl.replace class_members (u, r) (cur @ [ name ]))
+          ru.Repair.components)
+    rus;
+  { model; comps; index; rus; kind; rank; class_members }
+
+let failed_expr ctx name =
+  match ctx.kind.(Hashtbl.find ctx.index name) with
+  | Queued _ -> var (v_st name) <>. int_ 0
+  | Boolean -> Unop (Not, var (v_up name))
+
+(* formulas <c>_failed, used by labels and rewards *)
+let failed_formulas ctx =
+  Array.to_list ctx.comps
+  |> List.map (fun c ->
+         let name = c.Component.name in
+         { formula_name = f_failed name; formula_body = failed_expr ctx name })
+
+let busy_formula_name ru = sanitize ru.Repair.name ^ "_busy"
+
+let busy_expr ctx u =
+  let ru = ctx.rus.(u) in
+  sum
+    (List.map
+       (fun name -> ite (var (v_st name) ==. int_ 2) (int_ 1) (int_ 0))
+       ru.Repair.components)
+
+let waiting_in_class_expr ctx u r =
+  let members = try Hashtbl.find ctx.class_members (u, r) with Not_found -> [] in
+  sum (List.map (fun name -> ite (var (v_st name) ==. int_ 1) (int_ 1) (int_ 0)) members)
+
+(* no waiting component in any class more urgent than [r] *)
+let no_more_urgent_waiting ctx u r =
+  let classes =
+    Hashtbl.fold (fun (u', r') _ acc -> if u' = u && r' < r then r' :: acc else acc)
+      ctx.class_members []
+  in
+  conj
+    (List.concat_map
+       (fun r' ->
+         let members = Hashtbl.find ctx.class_members (u, r') in
+         List.map (fun name -> var (v_st name) <>. int_ 1) members)
+       (List.sort_uniq compare classes))
+
+let no_waiting_at_all ctx u =
+  let ru = ctx.rus.(u) in
+  conj (List.map (fun name -> var (v_st name) <>. int_ 1) ru.Repair.components)
+
+(* queue-position shift within [k]'s class when [k] is dispatched *)
+let shift_updates ctx u k =
+  let r = ctx.rank.(Hashtbl.find ctx.index k) in
+  let members = Hashtbl.find ctx.class_members (u, r) in
+  List.filter_map
+    (fun m ->
+      if m = k then None
+      else
+        Some
+          (v_q m, ite (var (v_st m) ==. int_ 1) (var (v_q m) -. int_ 1) (var (v_q m))))
+    members
+
+(* The spare-induced failure-rate factor is 1 for hot spares (checked in
+   make_ctx), so failure commands use the plain rate. *)
+let failure_rate_expr c = real (Component.failure_rate c)
+
+let repair_rate_expr c = real (Component.repair_rate c)
+
+(* Initial variable values from a Semantics.state *)
+type init_values = {
+  st0 : string -> int;
+  q0 : string -> int;
+  up0 : string -> bool;
+  done0 : string -> int;
+}
+
+let initial_values ctx initial =
+  match initial with
+  | None ->
+      {
+        st0 = (fun _ -> 0);
+        q0 = (fun _ -> 0);
+        up0 = (fun _ -> true);
+        done0 = (fun _ -> 0);
+      }
+  | Some state ->
+      let idx name = Hashtbl.find ctx.index name in
+      let up0 name = state.Semantics.up.(idx name) in
+      let st0 name =
+        let i = idx name in
+        match ctx.kind.(i) with
+        | Boolean -> 0
+        | Queued u ->
+            if state.Semantics.up.(i) then 0
+            else if List.mem i state.Semantics.in_repair.(u) then 2
+            else 1
+      in
+      let q0 name =
+        let i = idx name in
+        match ctx.kind.(i) with
+        | Boolean -> 0
+        | Queued u ->
+            if st0 name <> 1 then 0
+            else begin
+              (* FCFS position within the component's rank class *)
+              let r = ctx.rank.(i) in
+              let same_class =
+                List.filter (fun j -> ctx.rank.(j) = r) state.Semantics.queue.(u)
+              in
+              let rec position p = function
+                | [] -> fail "initial state: %s not in its unit's queue" name
+                | j :: rest -> if j = i then p else position (p + 1) rest
+              in
+              position 1 same_class
+            end
+      in
+      let done0 name = state.Semantics.stage.(idx name) in
+      { st0; q0; up0; done0 }
+
+let queued_module ctx init u =
+  let ru = ctx.rus.(u) in
+  let crews = ru.Repair.crews in
+  let comp name = ctx.comps.(Hashtbl.find ctx.index name) in
+  let class_size name =
+    let r = ctx.rank.(Hashtbl.find ctx.index name) in
+    List.length (Hashtbl.find ctx.class_members (u, r))
+  in
+  let vars =
+    List.concat_map
+      (fun name ->
+        let stages = (comp name).Component.repair_stages in
+        [
+          {
+            var_name = v_st name;
+            var_type = Tint_range (int_ 0, int_ 2);
+            var_init = Some (int_ (init.st0 name));
+          };
+          {
+            var_name = v_q name;
+            var_type = Tint_range (int_ 0, int_ (class_size name));
+            var_init = Some (int_ (init.q0 name));
+          };
+        ]
+        @
+        if stages > 1 then
+          [
+            {
+              var_name = v_done name;
+              var_type = Tint_range (int_ 0, int_ (stages - 1));
+              var_init = Some (int_ (init.done0 name));
+            };
+          ]
+        else [])
+      ru.Repair.components
+  in
+  let busy = var (busy_formula_name ru) in
+  let commands =
+    List.concat_map
+      (fun name ->
+        let c = comp name in
+        let r = ctx.rank.(Hashtbl.find ctx.index name) in
+        let fail_free =
+          {
+            action = None;
+            guard = (var (v_st name) ==. int_ 0) &&. (busy <. int_ crews);
+            alternatives =
+              [ { weight = failure_rate_expr c; update = [ (v_st name, int_ 2) ] } ];
+          }
+        in
+        let fail_queue =
+          {
+            action = None;
+            guard = (var (v_st name) ==. int_ 0) &&. (busy >=. int_ crews);
+            alternatives =
+              [
+                {
+                  weight = failure_rate_expr c;
+                  update =
+                    [
+                      (v_st name, int_ 1);
+                      (v_q name, waiting_in_class_expr ctx u r +. int_ 1);
+                    ];
+                };
+              ];
+          }
+        in
+        let stages = c.Component.repair_stages in
+        (* guard conjunct and update for Erlang repair stages: the final
+           stage may only complete once the earlier ones have *)
+        let final_stage_guard g =
+          if stages > 1 then g &&. (var (v_done name) ==. int_ (stages - 1)) else g
+        in
+        let reset_done upd = if stages > 1 then (v_done name, int_ 0) :: upd else upd in
+        let advance_stage =
+          if stages > 1 then
+            [
+              {
+                action = None;
+                guard =
+                  (var (v_st name) ==. int_ 2)
+                  &&. (var (v_done name) <. int_ (stages - 1));
+                alternatives =
+                  [
+                    {
+                      weight = real (Component.stage_rate c);
+                      update = [ (v_done name, var (v_done name) +. int_ 1) ];
+                    };
+                  ];
+              };
+            ]
+          else []
+        in
+        let complete_idle =
+          {
+            action = None;
+            guard =
+              final_stage_guard
+                ((var (v_st name) ==. int_ 2) &&. no_waiting_at_all ctx u);
+            alternatives =
+              [
+                {
+                  weight = real (Component.stage_rate c);
+                  update = reset_done [ (v_st name, int_ 0) ];
+                };
+              ];
+          }
+        in
+        let complete_dispatch =
+          List.filter_map
+            (fun next ->
+              if next = name then None
+              else
+                let rn = ctx.rank.(Hashtbl.find ctx.index next) in
+                Some
+                  {
+                    action = None;
+                    guard =
+                      final_stage_guard
+                        ((var (v_st name) ==. int_ 2)
+                        &&. (var (v_st next) ==. int_ 1)
+                        &&. (var (v_q next) ==. int_ 1)
+                        &&. no_more_urgent_waiting ctx u rn);
+                    alternatives =
+                      [
+                        {
+                          weight = real (Component.stage_rate c);
+                          update =
+                            reset_done
+                              ([
+                                 (v_st name, int_ 0);
+                                 (v_st next, int_ 2);
+                                 (v_q next, int_ 0);
+                               ]
+                              @ shift_updates ctx u next);
+                        };
+                      ];
+                  })
+            ru.Repair.components
+        in
+        (fail_free :: fail_queue :: complete_idle :: (advance_stage @ complete_dispatch)))
+      ru.Repair.components
+  in
+  {
+    mod_name = sanitize ru.Repair.name;
+    mod_vars = vars;
+    mod_commands = commands;
+  }
+
+let boolean_module ctx init i =
+  let c = ctx.comps.(i) in
+  let name = c.Component.name in
+  let repaired =
+    match Model.repair_unit_of ctx.model name with
+    | Some ru -> ru.Repair.strategy = Repair.Dedicated
+    | None -> false
+  in
+  let fail_cmd =
+    {
+      action = None;
+      guard = var (v_up name);
+      alternatives =
+        [ { weight = failure_rate_expr c; update = [ (v_up name, Bool_lit false) ] } ];
+    }
+  in
+  let stages = c.Component.repair_stages in
+  let stage_vars =
+    if repaired && stages > 1 then
+      [
+        {
+          var_name = v_done name;
+          var_type = Tint_range (int_ 0, int_ (stages - 1));
+          var_init = Some (int_ (init.done0 name));
+        };
+      ]
+    else []
+  in
+  let repair_cmds =
+    if stages = 1 then
+      [
+        {
+          action = None;
+          guard = Unop (Not, var (v_up name));
+          alternatives =
+            [ { weight = repair_rate_expr c; update = [ (v_up name, Bool_lit true) ] } ];
+        };
+      ]
+    else
+      [
+        {
+          action = None;
+          guard =
+            Binop (And, Unop (Not, var (v_up name)),
+                   var (v_done name) <. int_ (stages - 1));
+          alternatives =
+            [
+              {
+                weight = real (Component.stage_rate c);
+                update = [ (v_done name, var (v_done name) +. int_ 1) ];
+              };
+            ];
+        };
+        {
+          action = None;
+          guard =
+            Binop (And, Unop (Not, var (v_up name)),
+                   var (v_done name) ==. int_ (stages - 1));
+          alternatives =
+            [
+              {
+                weight = real (Component.stage_rate c);
+                update = [ (v_up name, Bool_lit true); (v_done name, int_ 0) ];
+              };
+            ];
+        };
+      ]
+  in
+  {
+    mod_name = sanitize name;
+    mod_vars =
+      {
+        var_name = v_up name;
+        var_type = Tbool;
+        var_init = Some (Bool_lit (init.up0 name));
+      }
+      :: stage_vars;
+    mod_commands = (if repaired then fail_cmd :: repair_cmds else [ fail_cmd ]);
+  }
+
+(* quantitative service tree as arithmetic over failed predicates *)
+let rec service_expr tree =
+  match tree with
+  | Fault_tree.Basic name -> ite (var (f_failed name)) (real 0.) (real 1.)
+  | Fault_tree.And inputs -> Call ("min", List.map service_expr inputs)
+  | Fault_tree.Or inputs ->
+      sum (List.map service_expr inputs) /. int_ (List.length inputs)
+  | Fault_tree.Kofn (k, inputs) ->
+      Call ("min", [ real 1.; sum (List.map service_expr inputs) /. int_ k ])
+
+let rec fault_expr tree =
+  match tree with
+  | Fault_tree.Basic name -> var (f_failed name)
+  | Fault_tree.And inputs -> conj (List.map fault_expr inputs)
+  | Fault_tree.Or inputs -> (
+      match List.map fault_expr inputs with
+      | [] -> Bool_lit false
+      | e :: rest -> List.fold_left (fun a b -> Binop (Or, a, b)) e rest)
+  | Fault_tree.Kofn (k, inputs) ->
+      sum (List.map (fun g -> ite (fault_expr g) (int_ 1) (int_ 0)) inputs) >=. int_ k
+
+let translate ?initial model =
+  let ctx = make_ctx model in
+  let init = initial_values ctx initial in
+  let modules =
+    List.concat
+      [
+        List.filter_map
+          (fun u ->
+            if ctx.rus.(u).Repair.strategy = Repair.Dedicated then None
+            else Some (queued_module ctx init u))
+          (List.init (Array.length ctx.rus) Fun.id);
+        List.filter_map
+          (fun i ->
+            match ctx.kind.(i) with
+            | Boolean -> Some (boolean_module ctx init i)
+            | Queued _ -> None)
+          (List.init (Array.length ctx.comps) Fun.id);
+      ]
+  in
+  let busy_formulas =
+    List.filter_map
+      (fun u ->
+        let ru = ctx.rus.(u) in
+        if ru.Repair.strategy = Repair.Dedicated then
+          Some
+            {
+              formula_name = busy_formula_name ru;
+              formula_body =
+                sum
+                  (List.map
+                     (fun name -> ite (var (f_failed name)) (int_ 1) (int_ 0))
+                     ru.Repair.components);
+            }
+        else
+          Some { formula_name = busy_formula_name ru; formula_body = busy_expr ctx u })
+      (List.init (Array.length ctx.rus) Fun.id)
+  in
+  let service_tree = Model.service_tree model in
+  let levels = Model.service_levels model in
+  let service_formula =
+    { formula_name = "service_level"; formula_body = service_expr service_tree }
+  in
+  let labels =
+    [
+      { label_name = "down"; label_body = fault_expr model.Model.fault_tree };
+      {
+        label_name = "operational";
+        label_body = Unop (Not, fault_expr model.Model.fault_tree);
+      };
+      {
+        label_name = "full_service";
+        label_body = var "service_level" >=. real 0.999999999;
+      };
+    ]
+    @ List.mapi
+        (fun k level ->
+          {
+            label_name = Printf.sprintf "sl_ge_%d" k;
+            label_body = var "service_level" >=. real (Stdlib.( -. ) level 1e-9);
+          })
+        levels
+  in
+  let component_items =
+    List.concat_map
+      (fun c ->
+        let name = c.Component.name in
+        List.concat
+          [
+            (if c.Component.failed_cost > 0. then
+               [
+                 {
+                   reward_guard = var (f_failed name);
+                   reward_value = real c.Component.failed_cost;
+                 };
+               ]
+             else []);
+            (if c.Component.operational_cost > 0. then
+               [
+                 {
+                   reward_guard = Unop (Not, var (f_failed name));
+                   reward_value = real c.Component.operational_cost;
+                 };
+               ]
+             else []);
+          ])
+      (Array.to_list ctx.comps)
+  in
+  let repair_items =
+    List.map
+      (fun ru ->
+        let crews = Repair.crew_count ru in
+        let busy = var (busy_formula_name ru) in
+        {
+          reward_guard = Bool_lit true;
+          reward_value =
+            ((int_ crews -. busy) *. real ru.Repair.idle_cost)
+            +. (busy *. real ru.Repair.busy_cost);
+        })
+      (Array.to_list ctx.rus)
+  in
+  {
+    constants = [];
+    formulas = failed_formulas ctx @ busy_formulas @ [ service_formula ];
+    labels;
+    modules;
+    rewards =
+      [
+        { rewards_name = Some "cost"; rewards_items = component_items @ repair_items };
+        { rewards_name = Some "component_cost"; rewards_items = component_items };
+        { rewards_name = Some "repair_cost"; rewards_items = repair_items };
+      ];
+  }
+
+let to_string ?initial model =
+  Prism.Printer.model_to_string (translate ?initial model)

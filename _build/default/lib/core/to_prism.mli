@@ -1,0 +1,37 @@
+(** Translation from Arcade models to PRISM reactive modules (the paper's
+    tool chain, Fig. 1).
+
+    The translation emits one PRISM module per repair unit (holding the
+    state of every component the unit repairs) plus one module per
+    dedicated-or-unrepaired component. Queue-based strategies are encoded
+    with, per component, a status variable [<c>_st] (0 = up, 1 = waiting,
+    2 = in repair) and a queue-position variable [<c>_q] counting the
+    component's FCFS position {e within its rate-priority class} — the same
+    canonical encoding {!Semantics} uses, so the two paths produce CTMCs
+    with identical state counts and measures (cf. the paper's remark that
+    the I/O-IMC and PRISM translations agree on this model class).
+
+    Also generated: [label "down"], [label "operational"],
+    [label "full_service"], one [label "sl_ge_<k>"] per service level (the
+    quantitative service tree is translated to nested [min] / average /
+    threshold arithmetic), and reward structures ["cost"],
+    ["component_cost"], ["repair_cost"] following the paper's cost model.
+
+    Restrictions: preemptive repair units are not translated (use the
+    direct {!Semantics} path), and cold/warm spares require the dormancy
+    semantics of {!Semantics} (hot spares translate exactly). *)
+
+exception Untranslatable of string
+
+val translate : ?initial:Semantics.state -> Model.t -> Prism.Ast.model
+(** [initial] roots the generated model at a specific (e.g. disaster)
+    state; default is all-up. Raises {!Untranslatable} for preemptive
+    units or non-hot spares. *)
+
+val to_string : ?initial:Semantics.state -> Model.t -> string
+(** {!translate} followed by {!Prism.Printer.model_to_string}: a model file
+    the real PRISM tool can load. *)
+
+val sanitize : string -> string
+(** Component name to PRISM identifier (non-alphanumeric characters become
+    underscores; a leading digit gets a prefix). *)

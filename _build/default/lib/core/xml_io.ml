@@ -1,0 +1,258 @@
+module X = Xml_kit
+
+exception Schema_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Schema_error msg -> Some (Printf.sprintf "Core.Xml_io.Schema_error (%s)" msg)
+    | _ -> None)
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Schema_error msg)) fmt
+
+type measure_spec = { measure_name : string; query : string }
+
+(* ------------------------------------------------------------------ *)
+(* Writing *)
+
+let float_attr x =
+  (* shortest representation that round-trips *)
+  let s = Printf.sprintf "%.12g" x in
+  if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+let component_to_xml c =
+  X.element "component"
+    ([
+       ("name", c.Component.name);
+       ("mttf", float_attr c.Component.mttf);
+       ("mttr", float_attr c.Component.mttr);
+       ("failed-cost", float_attr c.Component.failed_cost);
+       ("operational-cost", float_attr c.Component.operational_cost);
+     ]
+    @
+    if c.Component.repair_stages > 1 then
+      [ ("repair-stages", string_of_int c.Component.repair_stages) ]
+    else [])
+    (List.map
+       (fun m ->
+         X.element "mode"
+           ([
+              ("name", m.Component.fm_name);
+              ("mttf", float_attr m.Component.fm_mttf);
+              ("mttr", float_attr m.Component.fm_mttr);
+              ("failed-cost", float_attr m.Component.fm_failed_cost);
+            ]
+           @
+           if m.Component.fm_repair_stages > 1 then
+             [ ("repair-stages", string_of_int m.Component.fm_repair_stages) ]
+           else [])
+           [])
+       c.Component.extra_modes)
+
+let ref_el tag name = X.element tag [ ("ref", name) ] []
+
+let repair_unit_to_xml ru =
+  let strategy_name, members =
+    match ru.Repair.strategy with
+    | Repair.Dedicated -> ("dedicated", ru.Repair.components)
+    | Repair.Fcfs -> ("fcfs", ru.Repair.components)
+    | Repair.Frf -> ("frf", ru.Repair.components)
+    | Repair.Fff -> ("fff", ru.Repair.components)
+    | Repair.Priority order -> ("priority", order)
+  in
+  X.element "repair-unit"
+    [
+      ("name", ru.Repair.name);
+      ("strategy", strategy_name);
+      ("crews", string_of_int ru.Repair.crews);
+      ("idle-cost", float_attr ru.Repair.idle_cost);
+      ("busy-cost", float_attr ru.Repair.busy_cost);
+      ("preemptive", string_of_bool ru.Repair.preemptive);
+    ]
+    (List.map (ref_el "component") members)
+
+let spare_unit_to_xml smu =
+  X.element "spare-unit"
+    [ ("name", smu.Spare.name); ("mode", Spare.mode_to_string smu.Spare.mode) ]
+    (List.map (ref_el "primary") smu.Spare.primaries
+    @ List.map (ref_el "spare") smu.Spare.spares)
+
+let rec fault_tree_to_xml tree =
+  match tree with
+  | Fault_tree.Basic name -> ref_el "basic" name
+  | Fault_tree.And inputs -> X.element "and" [] (List.map fault_tree_to_xml inputs)
+  | Fault_tree.Or inputs -> X.element "or" [] (List.map fault_tree_to_xml inputs)
+  | Fault_tree.Kofn (k, inputs) ->
+      X.element "kofn" [ ("k", string_of_int k) ] (List.map fault_tree_to_xml inputs)
+
+let measure_to_xml m =
+  X.element "measure" [ ("name", m.measure_name); ("query", m.query) ] []
+
+let to_xml ?(measures = []) model =
+  X.element "arcade"
+    [ ("name", model.Model.name) ]
+    ([
+       X.element "components" [] (List.map component_to_xml model.Model.components);
+     ]
+    @ (if model.Model.repair_units = [] then []
+       else
+         [
+           X.element "repair-units" []
+             (List.map repair_unit_to_xml model.Model.repair_units);
+         ])
+    @ (if model.Model.spare_units = [] then []
+       else
+         [
+           X.element "spare-units" []
+             (List.map spare_unit_to_xml model.Model.spare_units);
+         ])
+    @ [ X.element "fault-tree" [] [ fault_tree_to_xml model.Model.fault_tree ] ]
+    @
+    if measures = [] then []
+    else [ X.element "measures" [] (List.map measure_to_xml measures) ])
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+let float_of_attr el key =
+  let raw = X.attribute_exn el key in
+  match float_of_string_opt raw with
+  | Some f -> f
+  | None -> error "attribute %s=%S is not a number" key raw
+
+let int_of_attr el key =
+  let raw = X.attribute_exn el key in
+  match int_of_string_opt raw with
+  | Some i -> i
+  | None -> error "attribute %s=%S is not an integer" key raw
+
+let bool_of_attr ?default el key =
+  match (X.attribute el key, default) with
+  | Some "true", _ -> true
+  | Some "false", _ -> false
+  | Some other, _ -> error "attribute %s=%S is not a boolean" key other
+  | None, Some d -> d
+  | None, None -> error "missing boolean attribute %s" key
+
+let mode_of_xml el =
+  Component.failure_mode
+    ~name:(X.attribute_exn el "name")
+    ~mttf:(float_of_attr el "mttf") ~mttr:(float_of_attr el "mttr")
+    ~failed_cost:
+      (match X.attribute el "failed-cost" with
+      | Some _ -> float_of_attr el "failed-cost"
+      | None -> 3.)
+    ~repair_stages:
+      (match X.attribute el "repair-stages" with
+      | Some _ -> int_of_attr el "repair-stages"
+      | None -> 1)
+    ()
+
+let component_of_xml el =
+  Component.make
+    ~extra_modes:(List.map mode_of_xml (X.find_children el "mode"))
+    ~name:(X.attribute_exn el "name")
+    ~mttf:(float_of_attr el "mttf") ~mttr:(float_of_attr el "mttr")
+    ~repair_stages:
+      (match X.attribute el "repair-stages" with
+      | Some _ -> int_of_attr el "repair-stages"
+      | None -> 1)
+    ~failed_cost:
+      (match X.attribute el "failed-cost" with
+      | Some _ -> float_of_attr el "failed-cost"
+      | None -> 3.)
+    ~operational_cost:
+      (match X.attribute el "operational-cost" with
+      | Some _ -> float_of_attr el "operational-cost"
+      | None -> 0.)
+    ()
+
+let refs_of tag el =
+  List.map (fun child -> X.attribute_exn child "ref") (X.find_children el tag)
+
+let repair_unit_of_xml el =
+  let members = refs_of "component" el in
+  let strategy =
+    match String.lowercase_ascii (X.attribute_exn el "strategy") with
+    | "priority" -> Repair.Priority members
+    | other -> Repair.strategy_of_string other
+  in
+  Repair.make
+    ~name:(X.attribute_exn el "name")
+    ~strategy ~components:members
+    ~crews:(match X.attribute el "crews" with Some _ -> int_of_attr el "crews" | None -> 1)
+    ~idle_cost:
+      (match X.attribute el "idle-cost" with
+      | Some _ -> float_of_attr el "idle-cost"
+      | None -> 1.)
+    ~busy_cost:
+      (match X.attribute el "busy-cost" with
+      | Some _ -> float_of_attr el "busy-cost"
+      | None -> 0.)
+    ~preemptive:(bool_of_attr ~default:false el "preemptive")
+    ()
+
+let spare_unit_of_xml el =
+  Spare.make
+    ~name:(X.attribute_exn el "name")
+    ~mode:(Spare.mode_of_string (X.attribute_exn el "mode"))
+    ~primaries:(refs_of "primary" el) ~spares:(refs_of "spare" el) ()
+
+let rec fault_tree_of_xml el =
+  match X.name el with
+  | "basic" -> Fault_tree.basic (X.attribute_exn el "ref")
+  | "and" -> Fault_tree.and_ (List.map fault_tree_of_xml (X.child_elements el))
+  | "or" -> Fault_tree.or_ (List.map fault_tree_of_xml (X.child_elements el))
+  | "kofn" ->
+      Fault_tree.kofn (int_of_attr el "k")
+        (List.map fault_tree_of_xml (X.child_elements el))
+  | other -> error "unexpected fault-tree element <%s>" other
+
+let measure_of_xml el =
+  { measure_name = X.attribute_exn el "name"; query = X.attribute_exn el "query" }
+
+let of_xml doc =
+  (match doc with
+  | X.Element ("arcade", _, _) -> ()
+  | X.Element (other, _, _) -> error "expected root <arcade>, got <%s>" other
+  | X.Text _ -> error "expected an element");
+  let name = X.attribute_exn doc "name" in
+  let components =
+    match X.find_child doc "components" with
+    | Some el -> List.map component_of_xml (X.find_children el "component")
+    | None -> error "missing <components>"
+  in
+  let repair_units =
+    match X.find_child doc "repair-units" with
+    | Some el -> List.map repair_unit_of_xml (X.find_children el "repair-unit")
+    | None -> []
+  in
+  let spare_units =
+    match X.find_child doc "spare-units" with
+    | Some el -> List.map spare_unit_of_xml (X.find_children el "spare-unit")
+    | None -> []
+  in
+  let fault_tree =
+    match X.find_child doc "fault-tree" with
+    | Some el -> (
+        match X.child_elements el with
+        | [ root ] -> fault_tree_of_xml root
+        | _ -> error "<fault-tree> must have exactly one root gate")
+    | None -> error "missing <fault-tree>"
+  in
+  let measures =
+    match X.find_child doc "measures" with
+    | Some el -> List.map measure_of_xml (X.find_children el "measure")
+    | None -> []
+  in
+  ( Model.make ~name ~components ~repair_units ~spare_units ~fault_tree (),
+    measures )
+
+let save ?measures path model = X.write_file path (to_xml ?measures model)
+
+let load path =
+  let doc =
+    try X.parse_file path
+    with X.Parse_error { line; column; message } ->
+      error "%s: parse error at %d:%d: %s" path line column message
+  in
+  of_xml doc

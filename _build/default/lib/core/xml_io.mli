@@ -1,0 +1,60 @@
+(** The Arcade XML input language.
+
+    The paper's tool chain reads an architectural model, a fault tree and a
+    measure specification from XML ([9] — an unpublished master's thesis).
+    This module defines and implements our equivalent schema:
+
+    {v
+    <arcade name="line1">
+      <components>
+        <component name="st1" mttf="2000" mttr="5"
+                   failed-cost="3" operational-cost="0"/>
+        ...
+      </components>
+      <repair-units>
+        <repair-unit name="ru" strategy="frf" crews="1"
+                     idle-cost="1" busy-cost="0" preemptive="false">
+          <component ref="st1"/> ...
+        </repair-unit>
+      </repair-units>
+      <spare-units>
+        <spare-unit name="pumps" mode="hot">   <!-- or cold, warm:0.5 -->
+          <primary ref="pump1"/> ... <spare ref="pump4"/>
+        </spare-unit>
+      </spare-units>
+      <fault-tree>
+        <or>
+          <and><basic ref="st1"/>...</and>
+          <kofn k="2"><basic ref="pump1"/>...</kofn>
+          <basic ref="res"/>
+        </or>
+      </fault-tree>
+      <measures>
+        <measure name="availability" query="S=? [ &quot;full_service&quot; ]"/>
+      </measures>
+    </arcade>
+    v}
+
+    [strategy] is one of [dedicated], [fcfs], [frf], [fff], [priority] (for
+    [priority], the child order is the priority order). The [measures]
+    element is optional; queries are CSL/CSRL texts for {!Csl.Parser}.
+
+    [of_xml (to_xml m)] reproduces the model exactly. *)
+
+exception Schema_error of string
+
+type measure_spec = { measure_name : string; query : string }
+
+val to_xml : ?measures:measure_spec list -> Model.t -> Xml_kit.t
+
+val of_xml : Xml_kit.t -> Model.t * measure_spec list
+(** Raises {!Schema_error} on malformed documents (and propagates
+    [Invalid_argument] from model validation). *)
+
+val save : ?measures:measure_spec list -> string -> Model.t -> unit
+
+val load : string -> Model.t * measure_spec list
+
+val fault_tree_to_xml : Fault_tree.t -> Xml_kit.t
+
+val fault_tree_of_xml : Xml_kit.t -> Fault_tree.t

@@ -1,0 +1,1 @@
+lib/csl/ast.ml: Format Printf Prism

@@ -1,0 +1,1 @@
+lib/csl/ast.mli: Format Prism

@@ -1,0 +1,1 @@
+lib/csl/checker.ml: Array Ast Ctmc Float List Numeric Parser Printexc Printf Prism

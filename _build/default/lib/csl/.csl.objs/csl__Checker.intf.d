@@ -1,0 +1,1 @@
+lib/csl/checker.mli: Ast Ctmc Numeric Prism

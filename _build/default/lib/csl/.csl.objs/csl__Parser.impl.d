@@ -1,0 +1,1 @@
+lib/csl/parser.ml: Ast Printexc Printf Prism String

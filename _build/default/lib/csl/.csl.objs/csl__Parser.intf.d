@@ -1,0 +1,1 @@
+lib/csl/parser.mli: Ast

@@ -1,0 +1,20 @@
+(** Parser for CSL / CSRL queries in PRISM's property syntax.
+
+    Examples of accepted input:
+
+    {v
+      P=? [ true U<=1000 "down" ]
+      S=? [ "operational" ]
+      P>=0.99 [ !"down" U "recovered" ]
+      R{"cost"}=? [ C<=10 ]
+      R=? [ I=4.5 ]
+      P=? [ F<=50 (service_level >= 2) ]
+    v}
+
+    Atomic state predicates are quoted label names, [true]/[false], bare
+    identifiers (boolean variables), or parenthesized PRISM expressions
+    over state variables. *)
+
+exception Syntax_error of { position : int; message : string }
+
+val parse : string -> Ast.state_formula

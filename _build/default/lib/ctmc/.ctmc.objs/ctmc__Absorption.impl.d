@@ -1,0 +1,1 @@
+lib/ctmc/absorption.ml: Array Chain Numeric Reachability

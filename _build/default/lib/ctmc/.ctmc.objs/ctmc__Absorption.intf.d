@@ -1,0 +1,1 @@
+lib/ctmc/absorption.mli: Chain Numeric

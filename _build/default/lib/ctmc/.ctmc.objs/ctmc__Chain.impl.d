@@ -1,0 +1,1 @@
+lib/ctmc/chain.ml: Array Float Format List Numeric Printf

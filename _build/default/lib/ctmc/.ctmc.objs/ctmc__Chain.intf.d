@@ -1,0 +1,1 @@
+lib/ctmc/chain.mli: Format Numeric

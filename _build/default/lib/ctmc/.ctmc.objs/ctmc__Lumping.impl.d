@@ -1,0 +1,1 @@
+lib/ctmc/lumping.ml: Array Chain Float Hashtbl List Numeric Printf String

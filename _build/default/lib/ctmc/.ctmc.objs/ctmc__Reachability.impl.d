@@ -1,0 +1,1 @@
+lib/ctmc/reachability.ml: Array Chain List Numeric Transient

@@ -1,0 +1,1 @@
+lib/ctmc/rewards.ml: Array Chain List Numeric Steady_state Transient

@@ -1,0 +1,1 @@
+lib/ctmc/rewards.mli: Chain Numeric

@@ -1,0 +1,1 @@
+lib/ctmc/simulate.ml: Array Chain Float List Numeric

@@ -1,0 +1,1 @@
+lib/ctmc/simulate.mli: Chain Numeric

@@ -1,0 +1,1 @@
+lib/ctmc/steady_state.ml: Array Chain Float Hashtbl List Numeric Reachability

@@ -1,0 +1,1 @@
+lib/ctmc/steady_state.mli: Chain Numeric

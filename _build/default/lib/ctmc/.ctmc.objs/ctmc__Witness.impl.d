@@ -1,0 +1,1 @@
+lib/ctmc/witness.ml: Array Chain Float Format List Numeric Set

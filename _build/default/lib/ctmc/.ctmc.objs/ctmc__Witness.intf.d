@@ -1,0 +1,1 @@
+lib/ctmc/witness.mli: Chain Format

@@ -1,0 +1,59 @@
+module Vec = Numeric.Vec
+module Sparse = Numeric.Sparse
+
+(* For non-target states s with almost-sure absorption:
+     t(s) = rho(s) / E(s) + sum_{s'} P_emb(s, s') t(s')
+   where E is the exit rate. Solve (I - A) t = b over the states that reach
+   psi with probability 1; everything else is infinity. *)
+let expected_reward_to ?(tol = 1e-13) m ~reward ~psi =
+  let n = Chain.states m in
+  if Vec.dim reward <> n then invalid_arg "Absorption: reward dimension mismatch";
+  let reach = Reachability.eventually ~tol m ~psi in
+  let result = Vec.create n infinity in
+  let certain = Array.init n (fun s -> reach.(s) >= 1. -. 1e-9) in
+  let solve_states =
+    Array.init n (fun s -> certain.(s) && not (psi s))
+  in
+  let index = Array.make n (-1) in
+  let count = ref 0 in
+  for s = 0 to n - 1 do
+    if solve_states.(s) then begin
+      index.(s) <- !count;
+      incr count
+    end
+  done;
+  for s = 0 to n - 1 do
+    if psi s then result.(s) <- 0.
+  done;
+  let nm = !count in
+  if nm > 0 then begin
+    let exits = Chain.exit_rates m in
+    let emb = Chain.embedded m in
+    let b = Sparse.Builder.create ~rows:nm ~cols:nm in
+    let rhs = Vec.zeros nm in
+    for s = 0 to n - 1 do
+      if solve_states.(s) then begin
+        (* a state certain to reach psi and not in psi must have exits *)
+        assert (exits.(s) > 0.);
+        rhs.(index.(s)) <- reward.(s) /. exits.(s);
+        Sparse.Builder.add b index.(s) index.(s) 1.;
+        Sparse.iter_row emb s (fun j p ->
+            if solve_states.(j) then Sparse.Builder.add b index.(s) index.(j) (-.p))
+      end
+    done;
+    let x, _ = Numeric.Solver.solve_gauss_seidel ~tol (Sparse.Builder.to_csr b) rhs in
+    for s = 0 to n - 1 do
+      if solve_states.(s) then result.(s) <- x.(index.(s))
+    done
+  end;
+  result
+
+let expected_time_to ?tol m ~psi =
+  expected_reward_to ?tol m ~reward:(Vec.create (Chain.states m) 1.) ~psi
+
+let mean_time_from_init ?tol m ~psi =
+  let times = expected_time_to ?tol m ~psi in
+  let init = Chain.initial m in
+  let acc = ref 0. in
+  Array.iteri (fun s p -> if p > 0. then acc := !acc +. (p *. times.(s))) init;
+  !acc

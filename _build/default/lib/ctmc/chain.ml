@@ -1,0 +1,133 @@
+module Sparse = Numeric.Sparse
+module Vec = Numeric.Vec
+
+type t = {
+  n : int;
+  rates : Sparse.t;
+  exit : Vec.t;
+  init : Vec.t;
+}
+
+let validate_rates rates =
+  let n = Sparse.rows rates in
+  if Sparse.cols rates <> n then invalid_arg "Chain.make: rate matrix not square";
+  Sparse.iteri rates (fun i j x ->
+      if x < 0. then
+        invalid_arg
+          (Printf.sprintf "Chain.make: negative rate %g at (%d,%d)" x i j);
+      if i = j && x <> 0. then
+        invalid_arg
+          (Printf.sprintf "Chain.make: non-zero diagonal entry at state %d" i));
+  n
+
+let make ?init rates =
+  let n = validate_rates rates in
+  if n = 0 then invalid_arg "Chain.make: empty chain";
+  let init =
+    match init with
+    | None -> Vec.unit n 0
+    | Some v ->
+        if Vec.dim v <> n then invalid_arg "Chain.make: init dimension mismatch";
+        if not (Vec.is_distribution ~eps:1e-6 v) then
+          invalid_arg "Chain.make: init is not a probability distribution";
+        Vec.copy v
+  in
+  { n; rates; exit = Sparse.row_sums rates; init }
+
+let of_transitions ?init ~states transitions =
+  let b = Sparse.Builder.create ~rows:states ~cols:states in
+  List.iter (fun (i, j, r) -> Sparse.Builder.add b i j r) transitions;
+  make ?init (Sparse.Builder.to_csr b)
+
+let states m = m.n
+
+let rates m = m.rates
+
+let rate m i j = Sparse.get m.rates i j
+
+let exit_rates m = m.exit
+
+let initial m = m.init
+
+let with_init m init =
+  if Vec.dim init <> m.n then invalid_arg "Chain.with_init: dimension mismatch";
+  if not (Vec.is_distribution ~eps:1e-6 init) then
+    invalid_arg "Chain.with_init: not a probability distribution";
+  { m with init = Vec.copy init }
+
+let with_point_init m s =
+  if s < 0 || s >= m.n then invalid_arg "Chain.with_point_init: bad state";
+  { m with init = Vec.unit m.n s }
+
+let generator m =
+  let b = Sparse.Builder.create ~rows:m.n ~cols:m.n in
+  Sparse.iteri m.rates (fun i j x -> Sparse.Builder.add b i j x);
+  for i = 0 to m.n - 1 do
+    if m.exit.(i) <> 0. then Sparse.Builder.add b i i (-.m.exit.(i))
+  done;
+  Sparse.Builder.to_csr b
+
+let transition_count m = Sparse.nnz m.rates
+
+let uniformization_rate m =
+  let max_exit = Vec.max_entry m.exit in
+  Float.max 1e-10 (max_exit *. 1.02)
+
+let uniformized ?lambda m =
+  let lambda =
+    match lambda with
+    | Some l ->
+        if l < Vec.max_entry m.exit then
+          invalid_arg "Chain.uniformized: lambda below max exit rate";
+        l
+    | None -> uniformization_rate m
+  in
+  let b = Sparse.Builder.create ~rows:m.n ~cols:m.n in
+  Sparse.iteri m.rates (fun i j x -> Sparse.Builder.add b i j (x /. lambda));
+  for i = 0 to m.n - 1 do
+    let self = 1. -. (m.exit.(i) /. lambda) in
+    if self <> 0. then Sparse.Builder.add b i i self
+  done;
+  (lambda, Sparse.Builder.to_csr b)
+
+let embedded m =
+  let b = Sparse.Builder.create ~rows:m.n ~cols:m.n in
+  Sparse.iteri m.rates (fun i j x -> Sparse.Builder.add b i j (x /. m.exit.(i)));
+  for i = 0 to m.n - 1 do
+    if m.exit.(i) = 0. then Sparse.Builder.add b i i 1.
+  done;
+  Sparse.Builder.to_csr b
+
+let absorbing m ~pred =
+  let b = Sparse.Builder.create ~rows:m.n ~cols:m.n in
+  Sparse.iteri m.rates (fun i j x -> if not (pred i) then Sparse.Builder.add b i j x);
+  let rates = Sparse.Builder.to_csr b in
+  { m with rates; exit = Sparse.row_sums rates }
+
+let restrict_reachable m =
+  let g = Numeric.Digraph.of_sparse m.rates in
+  let seeds = ref [] in
+  Array.iteri (fun s p -> if p > 0. then seeds := s :: !seeds) m.init;
+  let keep = Numeric.Digraph.reachable g !seeds in
+  let new_of_old = Array.make m.n (-1) in
+  let old_of_new = ref [] and count = ref 0 in
+  for s = 0 to m.n - 1 do
+    if keep.(s) then begin
+      new_of_old.(s) <- !count;
+      old_of_new := s :: !old_of_new;
+      incr count
+    end
+  done;
+  let old_of_new = Array.of_list (List.rev !old_of_new) in
+  let n' = !count in
+  let b = Sparse.Builder.create ~rows:n' ~cols:n' in
+  Sparse.iteri m.rates (fun i j x ->
+      if keep.(i) && keep.(j) then Sparse.Builder.add b new_of_old.(i) new_of_old.(j) x);
+  let init = Vec.zeros n' in
+  Array.iteri (fun s p -> if keep.(s) then init.(new_of_old.(s)) <- p) m.init;
+  (make ~init (Sparse.Builder.to_csr b), old_of_new)
+
+let pp_stats ppf m =
+  Format.fprintf ppf "ctmc: %d states, %d transitions, max exit rate %g" m.n
+    (transition_count m)
+    (Vec.max_entry m.exit)

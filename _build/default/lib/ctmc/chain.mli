@@ -1,0 +1,69 @@
+(** Continuous-time Markov chains.
+
+    A CTMC is stored as its off-diagonal rate matrix [R] (entry [(i, j)] is
+    the transition rate from state [i] to state [j], [i <> j]) together with
+    an initial distribution. Exit rates and the generator diagonal are
+    derived. All analysis modules ({!Transient}, {!Reachability},
+    {!Steady_state}, {!Rewards}, {!Lumping}, {!Simulate}) operate on this
+    representation. *)
+
+type t
+
+val make : ?init:Numeric.Vec.t -> Numeric.Sparse.t -> t
+(** [make ?init rates] builds a CTMC from an off-diagonal rate matrix.
+    Raises [Invalid_argument] if the matrix is not square, has a negative
+    entry, has a non-zero diagonal entry, or if [init] is not a probability
+    distribution of the right dimension. [init] defaults to the point
+    distribution on state 0. *)
+
+val of_transitions :
+  ?init:Numeric.Vec.t -> states:int -> (int * int * float) list -> t
+(** Convenience constructor from a transition list; duplicate transitions
+    between the same pair of states have their rates summed. *)
+
+val states : t -> int
+
+val rates : t -> Numeric.Sparse.t
+(** The off-diagonal rate matrix. *)
+
+val rate : t -> int -> int -> float
+(** [rate m i j] is the transition rate from [i] to [j] ([i <> j]). *)
+
+val exit_rates : t -> Numeric.Vec.t
+
+val initial : t -> Numeric.Vec.t
+
+val with_init : t -> Numeric.Vec.t -> t
+
+val with_point_init : t -> int -> t
+
+val generator : t -> Numeric.Sparse.t
+(** The infinitesimal generator [Q = R - diag(exit)]. *)
+
+val transition_count : t -> int
+(** Number of (off-diagonal) transitions. *)
+
+val uniformization_rate : t -> float
+(** A rate [lambda >= max exit rate] suitable for uniformization (slightly
+    inflated to keep the self-loop probability of the fastest state positive,
+    which guarantees aperiodicity of the uniformized DTMC). At least 1e-10,
+    so absorbing-only chains still uniformize. *)
+
+val uniformized : ?lambda:float -> t -> float * Numeric.Sparse.t
+(** [uniformized m] is [(lambda, P)] with [P = I + Q/lambda] the uniformized
+    stochastic matrix (diagonal included). *)
+
+val embedded : t -> Numeric.Sparse.t
+(** The embedded jump matrix: [P(i, j) = R(i, j) / exit(i)] for non-absorbing
+    [i]; absorbing states get a self-loop with probability 1. *)
+
+val absorbing : t -> pred:(int -> bool) -> t
+(** [absorbing m ~pred] removes all outgoing transitions of states satisfying
+    [pred] (they become absorbing). The initial distribution is kept. *)
+
+val restrict_reachable : t -> t * int array
+(** Drop states unreachable from the support of the initial distribution.
+    Returns the restricted chain and the map from new indices to old. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: states, transitions, max exit rate. *)

@@ -1,0 +1,119 @@
+module Vec = Numeric.Vec
+module Sparse = Numeric.Sparse
+
+type result = {
+  block_of : int array;
+  blocks : int list array;
+  quotient : Chain.t;
+}
+
+let partition_by_key n key =
+  let table = Hashtbl.create 16 in
+  let next = ref 0 in
+  Array.init n (fun s ->
+      let k = key s in
+      match Hashtbl.find_opt table k with
+      | Some b -> b
+      | None ->
+          let b = !next in
+          incr next;
+          Hashtbl.replace table k b;
+          b)
+
+let block_members block_of n_blocks =
+  let blocks = Array.make n_blocks [] in
+  Array.iteri (fun s b -> blocks.(b) <- s :: blocks.(b)) block_of;
+  blocks
+
+(* One refinement sweep: recompute each state's signature — the multiset of
+   (target block, total rate) pairs — and split blocks whose states disagree.
+   Rates are compared with a relative tolerance by rounding to a grid.
+   Returns the new partition and whether anything changed. *)
+let refine_once ~tol m block_of n_blocks =
+  let n = Chain.states m in
+  let signature s =
+    let per_block = Hashtbl.create 8 in
+    Sparse.iter_row (Chain.rates m) s (fun j r ->
+        let b = block_of.(j) in
+        let cur = try Hashtbl.find per_block b with Not_found -> 0. in
+        Hashtbl.replace per_block b (cur +. r));
+    let entries =
+      Hashtbl.fold
+        (fun b r acc ->
+          (* skip the state's own block: strong lumpability constrains rates
+             into other blocks only *)
+          if b = block_of.(s) || r = 0. then acc else (b, r) :: acc)
+        per_block []
+    in
+    let entries = List.sort compare entries in
+    String.concat ";"
+      (List.map
+         (fun (b, r) ->
+           (* round the rate to [tol] relative precision so float noise does
+              not split blocks *)
+           let scale = 10. ** Float.round (Float.log10 (Float.max (Float.abs r) 1e-300)) in
+           let quantum = scale *. tol in
+           Printf.sprintf "%d:%.0f" b (r /. quantum))
+         entries)
+  in
+  let new_block = Array.make n (-1) in
+  let next = ref 0 in
+  let by_old = Hashtbl.create n_blocks in
+  for s = 0 to n - 1 do
+    let key = (block_of.(s), signature s) in
+    match Hashtbl.find_opt by_old key with
+    | Some b -> new_block.(s) <- b
+    | None ->
+        new_block.(s) <- !next;
+        Hashtbl.replace by_old key !next;
+        incr next
+  done;
+  (new_block, !next, !next <> n_blocks)
+
+let lump ?(rate_tolerance = 1e-9) m ~initial =
+  let n = Chain.states m in
+  if Array.length initial <> n then invalid_arg "Lumping.lump: partition size";
+  let n_blocks0 = Array.fold_left max (-1) initial + 1 in
+  Array.iter
+    (fun b -> if b < 0 || b >= n_blocks0 then invalid_arg "Lumping.lump: block ids not dense")
+    initial;
+  let rec fixpoint block_of n_blocks =
+    let block_of', n_blocks', changed =
+      refine_once ~tol:rate_tolerance m block_of n_blocks
+    in
+    if changed then fixpoint block_of' n_blocks' else (block_of, n_blocks)
+  in
+  let block_of, n_blocks = fixpoint (Array.copy initial) n_blocks0 in
+  let blocks = block_members block_of n_blocks in
+  (* quotient rates: take any member as representative *)
+  let b = Sparse.Builder.create ~rows:n_blocks ~cols:n_blocks in
+  Array.iteri
+    (fun blk members ->
+      match members with
+      | [] -> ()
+      | rep :: _ ->
+          let per_block = Hashtbl.create 8 in
+          Sparse.iter_row (Chain.rates m) rep (fun j r ->
+              let tb = block_of.(j) in
+              if tb <> blk then begin
+                let cur = try Hashtbl.find per_block tb with Not_found -> 0. in
+                Hashtbl.replace per_block tb (cur +. r)
+              end);
+          Hashtbl.iter (fun tb r -> Sparse.Builder.add b blk tb r) per_block)
+    blocks;
+  let init = Vec.zeros n_blocks in
+  Array.iteri (fun s p -> init.(block_of.(s)) <- init.(block_of.(s)) +. p) (Chain.initial m);
+  let quotient = Chain.make ~init (Sparse.Builder.to_csr b) in
+  { block_of; blocks; quotient }
+
+let lift r v =
+  let n = Array.length r.block_of in
+  if Vec.dim v <> Array.length r.blocks then invalid_arg "Lumping.lift: dimension";
+  Array.init n (fun s -> v.(r.block_of.(s)))
+
+let project r v =
+  let nb = Array.length r.blocks in
+  if Vec.dim v <> Array.length r.block_of then invalid_arg "Lumping.project: dimension";
+  let out = Vec.zeros nb in
+  Array.iteri (fun s x -> out.(r.block_of.(s)) <- out.(r.block_of.(s)) +. x) v;
+  out

@@ -1,0 +1,31 @@
+(** Strong (ordinary) lumpability: CTMC state-space minimization.
+
+    Partition refinement: starting from a caller-supplied partition (states
+    that must stay distinguishable, e.g. because they carry different labels
+    or rewards), blocks are split until every state in a block has the same
+    total rate into every other block. The quotient chain then preserves all
+    transient and steady-state measures of block-constant predicates — the
+    minimization the Arcade paper names as future work. *)
+
+type result = {
+  block_of : int array; (** block index of each original state *)
+  blocks : int list array; (** members of each block *)
+  quotient : Chain.t; (** lumped chain; state [b] represents block [b] *)
+}
+
+val partition_by_key : int -> (int -> string) -> int array
+(** [partition_by_key n key] groups states [0..n-1] by [key]; returns the
+    block index per state (dense, starting at 0). *)
+
+val lump : ?rate_tolerance:float -> Chain.t -> initial:int array -> result
+(** [lump m ~initial] refines [initial] to the coarsest strongly lumpable
+    partition and builds the quotient. [initial.(s)] is the block of state
+    [s]; blocks must be numbered densely from 0. The quotient's initial
+    distribution aggregates the original one. [rate_tolerance] (default
+    [1e-9]) is the relative tolerance when comparing block rates. *)
+
+val lift : result -> Numeric.Vec.t -> Numeric.Vec.t
+(** [lift r v] expands a per-block vector to a per-original-state vector. *)
+
+val project : result -> Numeric.Vec.t -> Numeric.Vec.t
+(** [project r v] sums a per-original-state vector to a per-block vector. *)

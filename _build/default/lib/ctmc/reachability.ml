@@ -1,0 +1,96 @@
+module Vec = Numeric.Vec
+module Sparse = Numeric.Sparse
+
+let indicator n pred =
+  Array.init n (fun s -> if pred s then 1. else 0.)
+
+let absorb_for_until m ~phi ~psi =
+  Chain.absorbing m ~pred:(fun s -> psi s || not (phi s))
+
+let bounded_until ?epsilon m ~phi ~psi ~bound =
+  if bound < 0. then invalid_arg "Reachability.bounded_until: negative bound";
+  let m' = absorb_for_until m ~phi ~psi in
+  let goal = indicator (Chain.states m) psi in
+  Transient.backward ?epsilon m' goal bound
+
+let bounded_until_from_init ?epsilon m ~phi ~psi ~bound =
+  if bound < 0. then invalid_arg "Reachability.bounded_until: negative bound";
+  let m' = absorb_for_until m ~phi ~psi in
+  Transient.probability_at ?epsilon m' ~pred:psi bound
+
+let bounded_until_curve ?epsilon m ~phi ~psi ~bounds =
+  let m' = absorb_for_until m ~phi ~psi in
+  let points = Transient.curve ?epsilon m' ~times:bounds in
+  let mass pi =
+    let acc = ref 0. in
+    Array.iteri (fun s p -> if psi s then acc := !acc +. p) pi;
+    !acc
+  in
+  List.map (fun (t, pi) -> (t, mass pi)) points
+
+let interval_until ?epsilon m ~phi ~psi ~lower ~upper =
+  if lower < 0. || upper < lower then
+    invalid_arg "Reachability.interval_until: bad interval";
+  if lower = 0. then bounded_until ?epsilon m ~phi ~psi ~bound:upper
+  else begin
+    let w = bounded_until ?epsilon m ~phi ~psi ~bound:(upper -. lower) in
+    (* during [0, lower) the path must stay inside phi; leaving phi zeroes
+       the continuation value *)
+    let w' = Array.mapi (fun s v -> if phi s then v else 0.) w in
+    let m1 = Chain.absorbing m ~pred:(fun s -> not (phi s)) in
+    let v = Transient.backward ?epsilon m1 w' lower in
+    Array.mapi (fun s x -> if phi s then x else 0.) v
+  end
+
+(* Unbounded until over the embedded DTMC. States are classified as:
+   - psi: probability 1;
+   - "maybe": phi, not psi, and some psi state is reachable through phi
+     states: solve (I - A) x = b where A is the embedded matrix restricted
+     to maybe states and b the one-step probability into psi;
+   - everything else: probability 0. *)
+let unbounded_until ?(tol = 1e-13) m ~phi ~psi =
+  let n = Chain.states m in
+  let result = Vec.zeros n in
+  (* graph restricted to edges leaving phi-and-not-psi states *)
+  let g = Numeric.Digraph.create n in
+  Sparse.iteri (Chain.rates m) (fun i j _ ->
+      if phi i && not (psi i) then Numeric.Digraph.add_edge g i j);
+  let targets = ref [] in
+  for s = 0 to n - 1 do
+    if psi s then targets := s :: !targets
+  done;
+  let can_reach = Numeric.Digraph.coreachable g !targets in
+  let maybe = Array.init n (fun s -> (not (psi s)) && phi s && can_reach.(s)) in
+  let index = Array.make n (-1) in
+  let count = ref 0 in
+  for s = 0 to n - 1 do
+    if maybe.(s) then begin
+      index.(s) <- !count;
+      incr count
+    end
+  done;
+  let nm = !count in
+  for s = 0 to n - 1 do
+    if psi s then result.(s) <- 1.
+  done;
+  if nm > 0 then begin
+    let emb = Chain.embedded m in
+    (* (I - A) x = b *)
+    let b = Sparse.Builder.create ~rows:nm ~cols:nm in
+    let rhs = Vec.zeros nm in
+    for s = 0 to n - 1 do
+      if maybe.(s) then begin
+        Sparse.Builder.add b index.(s) index.(s) 1.;
+        Sparse.iter_row emb s (fun j p ->
+            if psi j then rhs.(index.(s)) <- rhs.(index.(s)) +. p
+            else if maybe.(j) then Sparse.Builder.add b index.(s) index.(j) (-.p))
+      end
+    done;
+    let x, _ = Numeric.Solver.solve_gauss_seidel ~tol (Sparse.Builder.to_csr b) rhs in
+    for s = 0 to n - 1 do
+      if maybe.(s) then result.(s) <- x.(index.(s))
+    done
+  end;
+  result
+
+let eventually ?tol m ~psi = unbounded_until ?tol m ~phi:(fun _ -> true) ~psi

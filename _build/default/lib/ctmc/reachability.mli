@@ -1,0 +1,59 @@
+(** Probabilistic reachability: the engine behind CSL's until operators.
+
+    [bounded_until] implements the standard CSL reduction (Baier et al.):
+    make all [not phi and not psi] states and all [psi] states absorbing, then
+    the probability of [phi U<=t psi] from state [s] equals the probability
+    of sitting in a [psi] state at time [t] in the modified chain.
+    [unbounded_until] solves the linear system over the embedded DTMC. *)
+
+val bounded_until :
+  ?epsilon:float ->
+  Chain.t ->
+  phi:(int -> bool) ->
+  psi:(int -> bool) ->
+  bound:float ->
+  Numeric.Vec.t
+(** Per-state probability of [phi U<=bound psi]. *)
+
+val bounded_until_from_init :
+  ?epsilon:float ->
+  Chain.t ->
+  phi:(int -> bool) ->
+  psi:(int -> bool) ->
+  bound:float ->
+  float
+(** The same probability weighted by the chain's initial distribution. *)
+
+val bounded_until_curve :
+  ?epsilon:float ->
+  Chain.t ->
+  phi:(int -> bool) ->
+  psi:(int -> bool) ->
+  bounds:float list ->
+  (float * float) list
+(** [bounded_until_curve m ~phi ~psi ~bounds] evaluates
+    {!bounded_until_from_init} at each time bound, sharing the forward
+    uniformization run across all bounds (sorted ascending in the result). *)
+
+val interval_until :
+  ?epsilon:float ->
+  Chain.t ->
+  phi:(int -> bool) ->
+  psi:(int -> bool) ->
+  lower:float ->
+  upper:float ->
+  Numeric.Vec.t
+(** Per-state probability of [phi U[lower,upper] psi]: reach a [psi] state
+    at some time in the closed interval, staying in [phi] states throughout
+    [0, lower) and from then until [psi] is hit. Implemented as the
+    composition of a [phi]-constrained transient phase over [0, lower] and
+    a bounded until over [upper - lower] (Baier et al.). *)
+
+val unbounded_until :
+  ?tol:float -> Chain.t -> phi:(int -> bool) -> psi:(int -> bool) -> Numeric.Vec.t
+(** Per-state probability of [phi U psi] (no time bound). Exact 0 states
+    (cannot reach [psi] within [phi]) are identified graph-theoretically
+    before solving, so the linear system is non-singular. *)
+
+val eventually : ?tol:float -> Chain.t -> psi:(int -> bool) -> Numeric.Vec.t
+(** [eventually m ~psi] is [unbounded_until m ~phi:(fun _ -> true) ~psi]. *)

@@ -1,0 +1,92 @@
+module Vec = Numeric.Vec
+module Sparse = Numeric.Sparse
+module Rng = Numeric.Rng
+
+type path = (float * int) list
+
+let sample_initial m rng =
+  let init = Chain.initial m in
+  Rng.choose_weighted rng init
+
+let next_jump m rng s =
+  let exit = (Chain.exit_rates m).(s) in
+  if exit = 0. then None
+  else begin
+    let dwell = Rng.exponential rng ~rate:exit in
+    (* choose successor proportionally to rates *)
+    let succs = ref [] and ws = ref [] in
+    Sparse.iter_row (Chain.rates m) s (fun j r ->
+        succs := j :: !succs;
+        ws := r :: !ws);
+    let succs = Array.of_list !succs and ws = Array.of_list !ws in
+    let k = Rng.choose_weighted rng ws in
+    Some (dwell, succs.(k))
+  end
+
+let run m rng ~horizon =
+  if horizon < 0. then invalid_arg "Simulate.run: negative horizon";
+  let rec go t s acc =
+    match next_jump m rng s with
+    | None -> List.rev acc
+    | Some (dwell, s') ->
+        let t' = t +. dwell in
+        if t' > horizon then List.rev acc else go t' s' ((t', s') :: acc)
+  in
+  let s0 = sample_initial m rng in
+  go 0. s0 [ (0., s0) ]
+
+let state_at path t =
+  let rec go last = function
+    | [] -> last
+    | (entry, s) :: rest -> if entry > t then last else go s rest
+  in
+  match path with
+  | [] -> invalid_arg "Simulate.state_at: empty path"
+  | (_, s0) :: rest -> go s0 rest
+
+let segments path ~horizon =
+  (* [(state, duration)] pieces covering [0, horizon] *)
+  let rec go = function
+    | [] -> []
+    | [ (entry, s) ] -> [ (s, Float.max 0. (horizon -. entry)) ]
+    | (entry, s) :: ((entry', _) :: _ as rest) ->
+        let stop = Float.min entry' horizon in
+        let d = Float.max 0. (stop -. entry) in
+        (s, d) :: (if entry' >= horizon then [] else go rest)
+  in
+  go path
+
+let time_in path ~horizon ~pred =
+  List.fold_left
+    (fun acc (s, d) -> if pred s then acc +. d else acc)
+    0.
+    (segments path ~horizon)
+
+let accumulated_reward path ~horizon ~reward =
+  List.fold_left
+    (fun acc (s, d) -> acc +. (reward.(s) *. d))
+    0.
+    (segments path ~horizon)
+
+type estimate = { mean : float; std_error : float; runs : int }
+
+let estimate m rng ~runs ~horizon ~f =
+  if runs <= 0 then invalid_arg "Simulate.estimate: runs must be positive";
+  let sum = ref 0. and sum_sq = ref 0. in
+  for _ = 1 to runs do
+    let x = f (run m rng ~horizon) in
+    sum := !sum +. x;
+    sum_sq := !sum_sq +. (x *. x)
+  done;
+  let n = float_of_int runs in
+  let mean = !sum /. n in
+  let variance = Float.max 0. ((!sum_sq /. n) -. (mean *. mean)) in
+  { mean; std_error = sqrt (variance /. n); runs }
+
+let estimate_transient m rng ~runs ~at ~pred =
+  estimate m rng ~runs ~horizon:at ~f:(fun path ->
+      if pred (state_at path at) then 1. else 0.)
+
+let estimate_accumulated m rng ~runs ~upto ~reward =
+  estimate m rng ~runs ~horizon:upto ~f:(fun path ->
+      accumulated_reward path ~horizon:upto ~reward)

@@ -1,0 +1,1 @@
+lib/numeric/digraph.ml: Array List Queue Sparse Stack

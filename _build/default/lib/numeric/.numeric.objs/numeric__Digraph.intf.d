@@ -1,0 +1,1 @@
+lib/numeric/digraph.mli: Sparse

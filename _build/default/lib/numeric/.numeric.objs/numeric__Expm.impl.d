@@ -1,0 +1,1 @@
+lib/numeric/expm.ml: Array Float Sparse

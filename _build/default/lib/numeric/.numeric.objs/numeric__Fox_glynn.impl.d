@@ -1,0 +1,1 @@
+lib/numeric/fox_glynn.ml: Array Float List

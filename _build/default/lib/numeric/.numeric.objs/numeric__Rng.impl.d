@@ -1,0 +1,1 @@
+lib/numeric/rng.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/numeric/solver.ml: Array Float Printexc Printf Sparse Vec

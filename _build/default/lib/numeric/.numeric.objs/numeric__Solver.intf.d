@@ -1,0 +1,1 @@
+lib/numeric/solver.mli: Sparse Vec

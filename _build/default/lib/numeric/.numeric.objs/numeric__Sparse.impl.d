@@ -1,0 +1,1 @@
+lib/numeric/sparse.ml: Array Float Format List Printf Vec

@@ -1,0 +1,1 @@
+lib/numeric/sparse.mli: Format Vec

@@ -1,0 +1,43 @@
+(** Directed graphs over integer vertices [0 .. n-1].
+
+    Provides the graph algorithms stochastic model checking needs: strongly
+    connected components (Tarjan, iterative — safe on state spaces with
+    hundreds of thousands of vertices), bottom SCC identification, forward /
+    backward reachability, and a topological order of the condensation. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty graph with [n] vertices. *)
+
+val of_sparse : Sparse.t -> t
+(** Graph with an edge [(i, j)] for every stored non-zero entry [(i, j)]. *)
+
+val add_edge : t -> int -> int -> unit
+(** Idempotence is not enforced; parallel edges are harmless for the
+    algorithms here. *)
+
+val vertex_count : t -> int
+
+val successors : t -> int -> int list
+(** Successors in reverse insertion order. *)
+
+val sccs : t -> int array * int list array
+(** [sccs g] is [(comp, members)]: [comp.(v)] is the SCC index of [v] and
+    [members.(c)] lists the vertices of SCC [c]. SCC indices are a reverse
+    topological order of the condensation: every edge between distinct SCCs
+    [(c1, c2)] has [c1 > c2]. *)
+
+val bottom_sccs : t -> int list array
+(** The SCCs with no edge leaving them (each as its member list). For a CTMC
+    these are the recurrent classes. *)
+
+val reachable : t -> int list -> bool array
+(** [reachable g seeds] marks every vertex reachable from [seeds] (the seeds
+    included). *)
+
+val coreachable : t -> int list -> bool array
+(** [coreachable g targets] marks every vertex from which some target is
+    reachable (the targets included). *)
+
+val reverse : t -> t

@@ -1,0 +1,66 @@
+let dims a =
+  let n = Array.length a in
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Expm: matrix not square")
+    a;
+  n
+
+let mat_mul a b =
+  let n = Array.length a in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let acc = ref 0. in
+          for k = 0 to n - 1 do
+            acc := !acc +. (a.(i).(k) *. b.(k).(j))
+          done;
+          !acc))
+
+let mat_add a b =
+  Array.mapi (fun i row -> Array.mapi (fun j x -> x +. b.(i).(j)) row) a
+
+let mat_scale s a = Array.map (Array.map (fun x -> s *. x)) a
+
+let identity n = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.))
+
+let inf_norm a =
+  Array.fold_left
+    (fun acc row ->
+      Float.max acc (Array.fold_left (fun s x -> s +. Float.abs x) 0. row))
+    0. a
+
+let expm a =
+  let n = dims a in
+  if n = 0 then [||]
+  else begin
+    (* scaling: find k with ||a / 2^k|| <= 0.5 *)
+    let norm = inf_norm a in
+    let k =
+      if norm <= 0.5 then 0
+      else max 0 (int_of_float (Float.ceil (Float.log (norm /. 0.5) /. Float.log 2.)))
+    in
+    let scaled = mat_scale (1. /. Float.pow 2. (float_of_int k)) a in
+    (* Taylor series sum_j scaled^j / j!, converges fast for norm <= 0.5 *)
+    let result = ref (identity n) in
+    let term = ref (identity n) in
+    let j = ref 1 in
+    let continue = ref true in
+    while !continue do
+      term := mat_scale (1. /. float_of_int !j) (mat_mul !term scaled);
+      result := mat_add !result !term;
+      if inf_norm !term < 1e-18 || !j > 60 then continue := false;
+      incr j
+    done;
+    (* squaring *)
+    let out = ref !result in
+    for _ = 1 to k do
+      out := mat_mul !out !out
+    done;
+    !out
+  end
+
+let expm_generator q t =
+  let n = Sparse.rows q in
+  if Sparse.cols q <> n then invalid_arg "Expm.expm_generator: not square";
+  let dense = Array.make_matrix n n 0. in
+  Sparse.iteri q (fun i j x -> dense.(i).(j) <- dense.(i).(j) +. (x *. t));
+  expm dense

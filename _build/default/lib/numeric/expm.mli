@@ -1,0 +1,16 @@
+(** Dense matrix exponential (scaling and squaring with a Taylor core).
+
+    An independent reference implementation used to cross-validate the
+    uniformization-based transient engine on small chains: for a generator
+    [Q], [exp(Q t)] row [i] is the transient distribution at time [t] from
+    state [i]. Dense and O(n^3) — test-sized matrices only. *)
+
+val expm : float array array -> float array array
+(** [expm a] computes [e^a] for a square dense matrix. Scaling and squaring:
+    [e^a = (e^(a / 2^k))^(2^k)] with a Taylor series on the scaled matrix,
+    [k] chosen so the scaled norm is below 0.5. Raises [Invalid_argument]
+    on non-square input. *)
+
+val expm_generator : Sparse.t -> float -> float array array
+(** [expm_generator q t] is [exp(Q t)] for a sparse generator, densified.
+    Row [i] is the distribution at time [t] starting from state [i]. *)

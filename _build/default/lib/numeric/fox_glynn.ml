@@ -1,0 +1,108 @@
+type t = {
+  lambda : float;
+  left : int;
+  right : int;
+  weights : float array;
+}
+
+(* Mode-centred computation: start from an unnormalized weight of 1 at the
+   mode m = floor(lambda) and extend with the recurrences
+     p(k+1) = p(k) * lambda / (k+1)      (rightwards)
+     p(k-1) = p(k) * k / lambda          (leftwards)
+   stopping when the unnormalized weight falls below
+   [cutoff = epsilon * running_total / 4]. Unnormalized weights are bounded
+   by 1, so there is no overflow; underflow only truncates negligible
+   mass. Finally normalize by an estimate of the full mass. For moderate
+   lambda (< 25) we normalize with exp(-lambda) directly, which is exact;
+   for large lambda we normalize by the window total, which differs from the
+   true mass by at most epsilon. *)
+let compute ?(epsilon = 1e-12) lambda =
+  if lambda < 0. || Float.is_nan lambda then
+    invalid_arg "Fox_glynn.compute: negative lambda";
+  if epsilon <= 0. || epsilon >= 1. then
+    invalid_arg "Fox_glynn.compute: epsilon out of (0,1)";
+  if lambda = 0. then
+    { lambda; left = 0; right = 0; weights = [| 1. |] }
+  else begin
+    let mode = int_of_float (Float.floor lambda) in
+    (* Collect unnormalized weights going right then left. *)
+    let right_list = ref [] and right_count = ref 0 in
+    let w = ref 1. and k = ref mode in
+    let running_total = ref 1. in
+    let continue = ref true in
+    while !continue do
+      let k' = !k + 1 in
+      let w' = !w *. lambda /. float_of_int k' in
+      if w' < epsilon /. 4. *. !running_total && k' > mode + 2 then
+        continue := false
+      else begin
+        right_list := w' :: !right_list;
+        incr right_count;
+        running_total := !running_total +. w';
+        w := w';
+        k := k'
+      end
+    done;
+    let left_list = ref [] and left_count = ref 0 in
+    let w = ref 1. and k = ref mode in
+    let continue = ref true in
+    while !continue && !k > 0 do
+      let w' = !w *. float_of_int !k /. lambda in
+      let k' = !k - 1 in
+      if w' < epsilon /. 4. *. !running_total then continue := false
+      else begin
+        left_list := w' :: !left_list;
+        incr left_count;
+        running_total := !running_total +. w';
+        w := w';
+        k := k'
+      end
+    done;
+    let left = mode - !left_count and right = mode + !right_count in
+    let n = right - left + 1 in
+    let weights = Array.make n 0. in
+    (* left_list currently holds weights for indices left..mode-1 in order. *)
+    List.iteri (fun i x -> weights.(i) <- x) !left_list;
+    weights.(mode - left) <- 1.;
+    (* right_list holds weights mode+1..right reversed. *)
+    let idx = ref (n - 1) in
+    List.iter
+      (fun x ->
+        weights.(!idx) <- x;
+        decr idx)
+      !right_list;
+    let norm =
+      if lambda < 25. then begin
+        (* exact: total unnormalized mass of the full distribution is
+           e^lambda / (lambda^mode / mode!) ... easier: weights are
+           lambda^k/k! / (lambda^mode/mode!), so multiply by
+           lambda^mode/mode! * e^-lambda, computed stably in log space. *)
+        let log_mode_weight =
+          (float_of_int mode *. Float.log lambda)
+          -. (let acc = ref 0. in
+              for i = 2 to mode do
+                acc := !acc +. Float.log (float_of_int i)
+              done;
+              !acc)
+          -. lambda
+        in
+        1. /. Float.exp log_mode_weight
+      end
+      else Array.fold_left ( +. ) 0. weights
+    in
+    let weights = Array.map (fun x -> x /. norm) weights in
+    { lambda; left; right; weights }
+  end
+
+let total_mass t = Array.fold_left ( +. ) 0. t.weights
+
+let pmf t k =
+  if k < t.left || k > t.right then 0. else t.weights.(k - t.left)
+
+let cumulative_tail t =
+  let n = Array.length t.weights in
+  let tail = Array.make (n + 1) 0. in
+  for i = n - 1 downto 0 do
+    tail.(i) <- tail.(i + 1) +. t.weights.(i)
+  done;
+  tail

@@ -1,0 +1,35 @@
+(** Poisson probability weights for uniformization (Fox–Glynn style).
+
+    Computes the window [left, right] and weights [w.(k - left)] such that
+    [w.(k - left)] approximates the Poisson probability
+    [e^-lambda * lambda^k / k!] and the truncated mass outside the window is
+    below the requested [epsilon]. The weights are computed with a
+    mode-centred multiplicative recurrence, which is numerically stable for
+    the large [lambda] values uniformization produces (the classic Fox–Glynn
+    finder's purpose); the final normalization divides by the window total,
+    so the returned weights sum to at most 1 and to at least [1 - epsilon]
+    of the true distribution. *)
+
+type t = private {
+  lambda : float;
+  left : int; (** first index of the window *)
+  right : int; (** last index of the window *)
+  weights : float array; (** [weights.(k - left)] = Poisson(lambda; k) *)
+}
+
+val compute : ?epsilon:float -> float -> t
+(** [compute ~epsilon lambda] computes the truncated weights. [lambda] must
+    be non-negative; [epsilon] defaults to [1e-12]. For [lambda = 0.] the
+    window is [[0, 0]] with weight 1. *)
+
+val total_mass : t -> float
+(** Sum of the retained weights (close to, and at most, 1). *)
+
+val pmf : t -> int -> float
+(** [pmf t k] is the weight for [k], or [0.] outside the window. *)
+
+val cumulative_tail : t -> float array
+(** [cumulative_tail t] has length [right - left + 2];
+    entry [k - left] is [P(Poisson(lambda) >= k)] restricted to the window,
+    i.e. the sum of weights from [k] to [right] (and index
+    [right - left + 1] is 0). Used by the accumulated-reward integral. *)

@@ -1,0 +1,136 @@
+type convergence = {
+  iterations : int;
+  residual : float;
+  converged : bool;
+}
+
+exception Did_not_converge of convergence
+
+let () =
+  Printexc.register_printer (function
+    | Did_not_converge c ->
+        Some
+          (Printf.sprintf
+             "Solver.Did_not_converge (iterations=%d, residual=%g)"
+             c.iterations c.residual)
+    | _ -> None)
+
+let diagonal a =
+  let n = Sparse.rows a in
+  let d = Vec.zeros n in
+  for i = 0 to n - 1 do
+    Sparse.iter_row a i (fun j x -> if j = i then d.(i) <- d.(i) +. x)
+  done;
+  d
+
+let check_diagonal name d =
+  Array.iteri
+    (fun i x ->
+      if x = 0. then
+        invalid_arg (Printf.sprintf "Solver.%s: zero diagonal at row %d" name i))
+    d
+
+let solve_gauss_seidel ?(tol = 1e-12) ?(max_iter = 100_000) ?x0 a b =
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n || Vec.dim b <> n then
+    invalid_arg "Solver.solve_gauss_seidel: dimension mismatch";
+  let d = diagonal a in
+  check_diagonal "solve_gauss_seidel" d;
+  let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
+  let rec sweep iter =
+    let delta = ref 0. in
+    for i = 0 to n - 1 do
+      let acc = ref b.(i) in
+      Sparse.iter_row a i (fun j v -> if j <> i then acc := !acc -. (v *. x.(j)));
+      let xi = !acc /. d.(i) in
+      let change = Float.abs (xi -. x.(i)) in
+      if change > !delta then delta := change;
+      x.(i) <- xi
+    done;
+    if !delta <= tol then
+      (x, { iterations = iter; residual = !delta; converged = true })
+    else if iter >= max_iter then
+      raise
+        (Did_not_converge { iterations = iter; residual = !delta; converged = false })
+    else sweep (iter + 1)
+  in
+  sweep 1
+
+let solve_jacobi ?(tol = 1e-12) ?(max_iter = 100_000) ?x0 a b =
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n || Vec.dim b <> n then
+    invalid_arg "Solver.solve_jacobi: dimension mismatch";
+  let d = diagonal a in
+  check_diagonal "solve_jacobi" d;
+  let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
+  let x' = Vec.zeros n in
+  let rec sweep iter =
+    for i = 0 to n - 1 do
+      let acc = ref b.(i) in
+      Sparse.iter_row a i (fun j v -> if j <> i then acc := !acc -. (v *. x.(j)));
+      x'.(i) <- !acc /. d.(i)
+    done;
+    let delta = Vec.linf_distance x x' in
+    Vec.blit ~src:x' ~dst:x;
+    if delta <= tol then
+      (x, { iterations = iter; residual = delta; converged = true })
+    else if iter >= max_iter then
+      raise
+        (Did_not_converge { iterations = iter; residual = delta; converged = false })
+    else sweep (iter + 1)
+  in
+  sweep 1
+
+(* pi Q = 0  <=>  Q^T pi^T = 0. Gauss-Seidel on the transposed system:
+   pi(j) <- sum_{i<>j} pi(i) * Q(i,j) / (-Q(j,j)), then renormalize. *)
+let steady_state_gauss_seidel ?(tol = 1e-12) ?(max_iter = 100_000) q =
+  let n = Sparse.rows q in
+  if Sparse.cols q <> n then invalid_arg "Solver.steady_state: not square";
+  if n = 0 then invalid_arg "Solver.steady_state: empty generator";
+  let qt = Sparse.transpose q in
+  let d = diagonal q in
+  (* A state with exit rate 0 in an irreducible chain means n = 1. *)
+  if n = 1 then (Vec.create 1 1., { iterations = 0; residual = 0.; converged = true })
+  else begin
+    check_diagonal "steady_state_gauss_seidel" d;
+    let pi = Vec.create n (1. /. float_of_int n) in
+    let rec sweep iter =
+      let delta = ref 0. in
+      for j = 0 to n - 1 do
+        let acc = ref 0. in
+        Sparse.iter_row qt j (fun i v -> if i <> j then acc := !acc +. (v *. pi.(i)));
+        let pj = !acc /. -.d.(j) in
+        let change = Float.abs (pj -. pi.(j)) in
+        if change > !delta then delta := change;
+        pi.(j) <- pj
+      done;
+      Vec.normalize_l1 pi;
+      if !delta <= tol then
+        (pi, { iterations = iter; residual = !delta; converged = true })
+      else if iter >= max_iter then
+        raise
+          (Did_not_converge
+             { iterations = iter; residual = !delta; converged = false })
+      else sweep (iter + 1)
+    in
+    sweep 1
+  end
+
+let power_iteration ?(tol = 1e-12) ?(max_iter = 1_000_000) p pi0 =
+  let n = Sparse.rows p in
+  if Sparse.cols p <> n || Vec.dim pi0 <> n then
+    invalid_arg "Solver.power_iteration: dimension mismatch";
+  let pi = Vec.copy pi0 in
+  let pi' = Vec.zeros n in
+  let rec step iter =
+    Sparse.vec_mul_into pi p pi';
+    let delta = Vec.linf_distance pi pi' in
+    Vec.blit ~src:pi' ~dst:pi;
+    if delta <= tol then
+      (pi, { iterations = iter; residual = delta; converged = true })
+    else if iter >= max_iter then
+      raise
+        (Did_not_converge { iterations = iter; residual = delta; converged = false })
+    else step (iter + 1)
+  in
+  step 1

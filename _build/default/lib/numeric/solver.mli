@@ -1,0 +1,50 @@
+(** Iterative linear solvers used by the CTMC engine.
+
+    All solvers are matrix-free over {!Sparse.t} and geared towards the two
+    systems stochastic model checking needs: the singular steady-state system
+    [pi Q = 0, sum pi = 1] and the non-singular reachability systems
+    [(I - A) x = b] with sub-stochastic [A]. *)
+
+type convergence = {
+  iterations : int;
+  residual : float; (** max-norm change of the last sweep *)
+  converged : bool;
+}
+
+exception Did_not_converge of convergence
+
+val solve_gauss_seidel :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:Vec.t ->
+  Sparse.t ->
+  Vec.t ->
+  Vec.t * convergence
+(** [solve_gauss_seidel a b] solves [a x = b] by Gauss–Seidel sweeps.
+    Requires non-zero diagonal entries. [tol] (default [1e-12]) bounds the
+    max-norm change between sweeps; [max_iter] defaults to [100_000].
+    Returns the solution and convergence information; raises
+    [Did_not_converge] when the iteration limit is hit. *)
+
+val solve_jacobi :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:Vec.t ->
+  Sparse.t ->
+  Vec.t ->
+  Vec.t * convergence
+(** Jacobi variant of {!solve_gauss_seidel}; slower but order-independent
+    (used in tests as a cross-check). *)
+
+val steady_state_gauss_seidel :
+  ?tol:float -> ?max_iter:int -> Sparse.t -> Vec.t * convergence
+(** [steady_state_gauss_seidel q] solves [pi Q = 0] with [sum pi = 1] for an
+    {e irreducible} CTMC generator [q] (row [i] holds the rates out of state
+    [i]; diagonal holds the negative exit rates). Gauss–Seidel on the
+    transposed system with per-sweep normalization. *)
+
+val power_iteration :
+  ?tol:float -> ?max_iter:int -> Sparse.t -> Vec.t -> Vec.t * convergence
+(** [power_iteration p pi0] iterates [pi <- pi P] to a fixed point; [p] must
+    be a stochastic matrix. Used as an independent cross-check of the
+    steady-state solver on aperiodic chains. *)

@@ -1,0 +1,233 @@
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array; (* length rows+1 *)
+  col_idx : int array; (* length nnz, sorted within each row *)
+  values : float array; (* length nnz *)
+}
+
+module Builder = struct
+  type t = {
+    b_rows : int;
+    b_cols : int;
+    mutable entries : (int * int * float) list;
+    mutable count : int;
+  }
+
+  let create ~rows ~cols =
+    if rows < 0 || cols < 0 then invalid_arg "Sparse.Builder.create";
+    { b_rows = rows; b_cols = cols; entries = []; count = 0 }
+
+  let add b i j x =
+    if i < 0 || i >= b.b_rows || j < 0 || j >= b.b_cols then
+      invalid_arg
+        (Printf.sprintf "Sparse.Builder.add: (%d,%d) out of %dx%d" i j
+           b.b_rows b.b_cols);
+    b.entries <- (i, j, x) :: b.entries;
+    b.count <- b.count + 1
+
+  (* Finalization: counting sort by row, then sort each row by column and
+     merge duplicates. *)
+  let to_csr b =
+    let rows = b.b_rows and cols = b.b_cols in
+    let n = b.count in
+    let ri = Array.make n 0 and ci = Array.make n 0 and vs = Array.make n 0. in
+    let k = ref (n - 1) in
+    List.iter
+      (fun (i, j, x) ->
+        ri.(!k) <- i;
+        ci.(!k) <- j;
+        vs.(!k) <- x;
+        decr k)
+      b.entries;
+    (* bucket by row *)
+    let counts = Array.make (rows + 1) 0 in
+    for p = 0 to n - 1 do
+      counts.(ri.(p) + 1) <- counts.(ri.(p) + 1) + 1
+    done;
+    for r = 1 to rows do
+      counts.(r) <- counts.(r) + counts.(r - 1)
+    done;
+    let order = Array.make n 0 in
+    let next = Array.copy counts in
+    for p = 0 to n - 1 do
+      let r = ri.(p) in
+      order.(next.(r)) <- p;
+      next.(r) <- next.(r) + 1
+    done;
+    (* per row: sort indices by column, merge duplicates, drop exact zeros *)
+    let row_ptr = Array.make (rows + 1) 0 in
+    let out_cols = ref [] and out_vals = ref [] in
+    let total = ref 0 in
+    for r = 0 to rows - 1 do
+      row_ptr.(r) <- !total;
+      let lo = counts.(r) and hi = counts.(r + 1) in
+      let row_entries =
+        Array.init (hi - lo) (fun q ->
+            let p = order.(lo + q) in
+            (ci.(p), vs.(p)))
+      in
+      Array.sort (fun (c1, _) (c2, _) -> compare c1 c2) row_entries;
+      let m = Array.length row_entries in
+      let q = ref 0 in
+      while !q < m do
+        let c, _ = row_entries.(!q) in
+        let acc = ref 0. in
+        while !q < m && fst row_entries.(!q) = c do
+          acc := !acc +. snd row_entries.(!q);
+          incr q
+        done;
+        if !acc <> 0. then begin
+          out_cols := c :: !out_cols;
+          out_vals := !acc :: !out_vals;
+          incr total
+        end
+      done
+    done;
+    row_ptr.(rows) <- !total;
+    let nnz = !total in
+    let col_idx = Array.make nnz 0 and values = Array.make nnz 0. in
+    let k = ref (nnz - 1) in
+    List.iter2
+      (fun c v ->
+        col_idx.(!k) <- c;
+        values.(!k) <- v;
+        decr k)
+      !out_cols !out_vals;
+    { rows; cols; row_ptr; col_idx; values }
+end
+
+let of_triplets ~rows ~cols triplets =
+  let b = Builder.create ~rows ~cols in
+  List.iter (fun (i, j, x) -> Builder.add b i j x) triplets;
+  Builder.to_csr b
+
+let of_dense d =
+  let rows = Array.length d in
+  let cols = if rows = 0 then 0 else Array.length d.(0) in
+  let b = Builder.create ~rows ~cols in
+  Array.iteri
+    (fun i row ->
+      Array.iteri (fun j x -> if x <> 0. then Builder.add b i j x) row)
+    d;
+  Builder.to_csr b
+
+let rows m = m.rows
+
+let cols m = m.cols
+
+let nnz m = m.row_ptr.(m.rows)
+
+let to_dense m =
+  let d = Array.make_matrix m.rows m.cols 0. in
+  for i = 0 to m.rows - 1 do
+    for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      d.(i).(m.col_idx.(p)) <- m.values.(p)
+    done
+  done;
+  d
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Sparse.get: out of bounds";
+  let lo = ref m.row_ptr.(i) and hi = ref (m.row_ptr.(i + 1) - 1) in
+  let result = ref 0. in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = m.col_idx.(mid) in
+    if c = j then begin
+      result := m.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !result
+
+let iter_row m i f =
+  for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    f m.col_idx.(p) m.values.(p)
+  done
+
+let iteri m f =
+  for i = 0 to m.rows - 1 do
+    iter_row m i (fun j x -> f i j x)
+  done
+
+let fold m ~init ~f =
+  let acc = ref init in
+  iteri m (fun i j x -> acc := f !acc i j x);
+  !acc
+
+let mul_vec_into m x y =
+  if Vec.dim x <> m.cols || Vec.dim y <> m.rows then
+    invalid_arg "Sparse.mul_vec_into: dimension mismatch";
+  for i = 0 to m.rows - 1 do
+    let acc = ref 0. in
+    for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (m.values.(p) *. x.(m.col_idx.(p)))
+    done;
+    y.(i) <- !acc
+  done
+
+let mul_vec m x =
+  let y = Vec.zeros m.rows in
+  mul_vec_into m x y;
+  y
+
+let vec_mul_into x m y =
+  if Vec.dim x <> m.rows || Vec.dim y <> m.cols then
+    invalid_arg "Sparse.vec_mul_into: dimension mismatch";
+  Vec.fill y 0.;
+  for i = 0 to m.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0. then
+      for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        y.(m.col_idx.(p)) <- y.(m.col_idx.(p)) +. (xi *. m.values.(p))
+      done
+  done
+
+let vec_mul x m =
+  let y = Vec.zeros m.cols in
+  vec_mul_into x m y;
+  y
+
+let transpose m =
+  let b = Builder.create ~rows:m.cols ~cols:m.rows in
+  iteri m (fun i j x -> Builder.add b j i x);
+  Builder.to_csr b
+
+let map f m =
+  { m with values = Array.map f m.values }
+
+let scale a m = map (fun x -> a *. x) m
+
+let add_mat a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Sparse.add_mat: dimension mismatch";
+  let bl = Builder.create ~rows:a.rows ~cols:a.cols in
+  iteri a (fun i j x -> Builder.add bl i j x);
+  iteri b (fun i j x -> Builder.add bl i j x);
+  Builder.to_csr bl
+
+let row_sums m =
+  let v = Vec.zeros m.rows in
+  iteri m (fun i _ x -> v.(i) <- v.(i) +. x);
+  v
+
+let identity n =
+  of_triplets ~rows:n ~cols:n (List.init n (fun i -> (i, i, 1.)))
+
+let equal ?(eps = 0.) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && begin
+       let ok = ref true in
+       iteri a (fun i j x -> if Float.abs (x -. get b i j) > eps then ok := false);
+       iteri b (fun i j x -> if Float.abs (x -. get a i j) > eps then ok := false);
+       !ok
+     end
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>sparse %dx%d (%d nnz)" m.rows m.cols (nnz m);
+  iteri m (fun i j x -> Format.fprintf ppf "@,(%d,%d) = %g" i j x);
+  Format.fprintf ppf "@]"

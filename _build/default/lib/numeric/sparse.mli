@@ -1,0 +1,76 @@
+(** Sparse matrices in compressed-sparse-row (CSR) form.
+
+    The CTMC engine stores generator and probability matrices in this format.
+    Matrices are immutable once built; construction goes through {!Builder}
+    (coordinate/triplet accumulation) or {!of_triplets}. *)
+
+type t
+
+(** Mutable triplet accumulator. Duplicate [(row, col)] entries are summed
+    when the matrix is finalized. *)
+module Builder : sig
+  type matrix := t
+  type t
+
+  val create : rows:int -> cols:int -> t
+
+  val add : t -> int -> int -> float -> unit
+  (** [add b i j x] accumulates [x] at position [(i, j)]. Zero contributions
+      are kept until finalization, where exact-zero sums are dropped. *)
+
+  val to_csr : t -> matrix
+end
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+
+val of_dense : float array array -> t
+
+val to_dense : t -> float array array
+
+val rows : t -> int
+
+val cols : t -> int
+
+val nnz : t -> int
+(** Number of stored (structurally non-zero) entries. *)
+
+val get : t -> int -> int -> float
+(** [get m i j] is the entry at [(i, j)] ([0.] when not stored).
+    Logarithmic in the number of entries of row [i]. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** [iter_row m i f] applies [f col value] to every stored entry of row [i]. *)
+
+val iteri : t -> (int -> int -> float -> unit) -> unit
+
+val fold : t -> init:'a -> f:('a -> int -> int -> float -> 'a) -> 'a
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec m x] is the matrix-vector product [m * x]. *)
+
+val mul_vec_into : t -> Vec.t -> Vec.t -> unit
+(** [mul_vec_into m x y] writes [m * x] into [y]. [x] and [y] must not alias. *)
+
+val vec_mul : Vec.t -> t -> Vec.t
+(** [vec_mul x m] is the vector-matrix product [x^T * m] (row vector). *)
+
+val vec_mul_into : Vec.t -> t -> Vec.t -> unit
+
+val transpose : t -> t
+
+val map : (float -> float) -> t -> t
+(** Apply a function to every stored entry (structure preserved). *)
+
+val scale : float -> t -> t
+
+val add_mat : t -> t -> t
+
+val row_sums : t -> Vec.t
+
+val identity : int -> t
+
+val equal : ?eps:float -> t -> t -> bool
+(** Entry-wise comparison within [eps] (default [0.]), including entries
+    stored in only one of the two matrices. *)
+
+val pp : Format.formatter -> t -> unit

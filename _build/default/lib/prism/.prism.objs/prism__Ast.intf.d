@@ -1,0 +1,1 @@
+lib/prism/ast.mli:

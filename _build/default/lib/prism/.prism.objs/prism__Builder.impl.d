@@ -1,0 +1,1 @@
+lib/prism/builder.ml: Array Ast Ctmc Eval Hashtbl List Numeric Printexc Printf Queue

@@ -1,0 +1,1 @@
+lib/prism/builder.mli: Ast Ctmc Numeric

@@ -1,0 +1,1 @@
+lib/prism/eval.ml: Ast Float Format Hashtbl List Printexc Printf

@@ -1,0 +1,1 @@
+lib/prism/eval.mli: Ast Format

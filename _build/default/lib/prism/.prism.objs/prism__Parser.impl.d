@@ -1,0 +1,1 @@
+lib/prism/parser.ml: Array Ast Buffer List Printexc Printf String

@@ -1,0 +1,1 @@
+lib/prism/parser.mli: Ast

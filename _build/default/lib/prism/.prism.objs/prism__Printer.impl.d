@@ -1,0 +1,1 @@
+lib/prism/printer.ml: Ast Float Format List Printf String

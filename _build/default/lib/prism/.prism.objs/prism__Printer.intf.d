@@ -1,0 +1,1 @@
+lib/prism/printer.mli: Ast Format

@@ -1,0 +1,20 @@
+(** Parser for the PRISM-language subset.
+
+    Accepts the [ctmc] model type, [const] (int/double/bool), [formula],
+    [label], [module ... endmodule] with bounded-int and bool variables,
+    guarded commands (optionally action-labelled, with [+]-separated
+    rate-weighted alternatives), and [rewards ... endrewards] blocks with
+    state-reward items. Line comments ([// ...]) are ignored.
+
+    The grammar follows PRISM's: [=] is equality inside expressions, [x' = e]
+    is an assignment inside updates, and the expression precedence chain is
+    [? :], [<=>], [=>], [|], [&], [!], relational, additive, multiplicative,
+    unary minus. *)
+
+exception Syntax_error of { line : int; column : int; message : string }
+
+val parse_model : string -> Ast.model
+(** Parse a complete model file. Raises {!Syntax_error}. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by the CSL layer and tests). *)

@@ -1,0 +1,1 @@
+lib/watertreatment/ablations.ml: Array Component Core Ctmc Experiments Facility Hashtbl Importance List Measures Model Printf Repair Semantics String

@@ -1,0 +1,1 @@
+lib/watertreatment/ablations.mli: Experiments Facility

@@ -1,0 +1,1 @@
+lib/watertreatment/experiments.ml: Buffer Core Ctmc Facility Format Hashtbl List Measures Printf Semantics String

@@ -1,0 +1,1 @@
+lib/watertreatment/experiments.mli: Format

@@ -1,0 +1,1 @@
+lib/watertreatment/facility.ml: Component Core Fault_tree List Measures Model Printf Repair Semantics Spare String

@@ -1,0 +1,1 @@
+lib/watertreatment/facility.mli: Core

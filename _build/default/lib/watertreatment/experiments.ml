@@ -1,0 +1,316 @@
+open Core
+
+type series = { label : string; points : (float * float) list }
+
+type figure = {
+  fig_id : string;
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+}
+
+type table = {
+  table_id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+}
+
+type artifact = Table of table | Figure of figure
+
+(* ------------------------------------------------------------------ *)
+(* Chain cache: (line, config, disaster) -> Measures.t *)
+
+let cache : (string, Measures.t) Hashtbl.t = Hashtbl.create 16
+
+let clear_cache () = Hashtbl.reset cache
+
+let cache_key line config disaster =
+  Printf.sprintf "%s/%s/%s" (Facility.line_name line)
+    (Facility.config_name config)
+    (match disaster with None -> "-" | Some failed -> String.concat "," failed)
+
+let measures ?disaster line config =
+  let key = cache_key line config disaster in
+  match Hashtbl.find_opt cache key with
+  | Some m -> m
+  | None ->
+      let m =
+        match disaster with
+        | None -> Facility.analyze line config
+        | Some failed -> Facility.analyze_after_disaster line config ~failed
+      in
+      Hashtbl.replace cache key m;
+      m
+
+let reliability_cache : (string, Measures.t) Hashtbl.t = Hashtbl.create 4
+
+let reliability_measures line =
+  let key = Facility.line_name line in
+  match Hashtbl.find_opt reliability_cache key with
+  | Some m -> m
+  | None ->
+      let m = Measures.analyze (Facility.reliability_model line) in
+      Hashtbl.replace reliability_cache key m;
+      m
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+let grid ?(from = 0.) upto points =
+  List.init points (fun i ->
+      from +. ((upto -. from) *. float_of_int i /. float_of_int (points - 1)))
+
+let lines = [ Facility.Line1; Facility.Line2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Tables *)
+
+let table1 () =
+  let rows =
+    List.map
+      (fun config ->
+        Facility.config_name config
+        :: List.concat_map
+             (fun line ->
+               let m = measures line config in
+               let chain = (Measures.built m).Semantics.chain in
+               [
+                 string_of_int (Ctmc.Chain.states chain);
+                 string_of_int (Ctmc.Chain.transition_count chain);
+               ])
+             lines)
+      Facility.paper_configs
+  in
+  {
+    table_id = "table1";
+    title = "Table 1: State space for repair strategies";
+    header = [ "Strategy"; "L1 states"; "L1 trans."; "L2 states"; "L2 trans." ];
+    rows;
+  }
+
+let table2 () =
+  let rows =
+    List.map
+      (fun config ->
+        let avail line = Measures.availability (measures line config) in
+        let a1 = avail Facility.Line1 and a2 = avail Facility.Line2 in
+        [
+          Facility.config_name config;
+          Printf.sprintf "%.7f" a1;
+          Printf.sprintf "%.7f" a2;
+          Printf.sprintf "%.7f" (Measures.combined_availability [ a1; a2 ]);
+        ])
+      Facility.paper_configs
+  in
+  {
+    table_id = "table2";
+    title = "Table 2: Availability for repair strategies";
+    header = [ "Strategy"; "line 1"; "line 2"; "Combined" ];
+    rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figures *)
+
+let default_points = 25
+
+let fig3 ?(points = default_points) () =
+  let times = grid 1000. points in
+  let series =
+    List.map
+      (fun line ->
+        let m = reliability_measures line in
+        {
+          label = "Reliability " ^ Facility.line_name line;
+          points = Measures.reliability_curve m ~times;
+        })
+      lines
+  in
+  {
+    fig_id = "fig3";
+    title = "Figure 3: Reliability over time";
+    xlabel = "t in hours";
+    ylabel = "Probability";
+    series;
+  }
+
+(* Line 1, Disaster 1 (all pumps failed), survivability to a service level *)
+let survivability_fig ~fig_id ~title ~line ~disaster ~configs ~level ~horizon ~points =
+  let times = grid horizon points in
+  let series =
+    List.map
+      (fun config ->
+        let m = measures ?disaster line config in
+        {
+          label = Facility.config_name config;
+          points = Measures.survivability_curve m ~service_level:level ~times;
+        })
+      configs
+  in
+  { fig_id; title; xlabel = "t in hours"; ylabel = "Probability"; series }
+
+let cost_fig ~fig_id ~title ~kind ~line ~disaster ~configs ~horizon ~points =
+  let times = grid horizon points in
+  let series =
+    List.map
+      (fun config ->
+        let m = measures ?disaster line config in
+        let points =
+          match kind with
+          | `Instantaneous -> Measures.instantaneous_cost_curve m ~times
+          | `Accumulated -> Measures.accumulated_cost_curve m ~times
+        in
+        { label = Facility.config_name config; points })
+      configs
+  in
+  {
+    fig_id;
+    title;
+    xlabel = "t in hours";
+    ylabel =
+      (match kind with
+      | `Instantaneous -> "Instantaneous cost"
+      | `Accumulated -> "Cumulative cost");
+    series;
+  }
+
+let d1_configs = [ Facility.ded; Facility.frf 1; Facility.frf 2 ]
+
+let d2_surv_configs =
+  [ Facility.ded; Facility.fff 1; Facility.fff 2; Facility.frf 1; Facility.frf 2 ]
+
+let d2_cost_configs = [ Facility.fff 1; Facility.fff 2; Facility.frf 1; Facility.frf 2 ]
+
+let disaster1_line1 = Some (Facility.disaster1 Facility.Line1)
+
+let disaster2_line2 = Some Facility.disaster2
+
+let third = 1. /. 3.
+
+let two_thirds = 2. /. 3.
+
+let fig4 ?(points = default_points) () =
+  survivability_fig ~fig_id:"fig4"
+    ~title:"Figure 4: Survivability Line 1, Disaster 1, X1 (service >= 1/3)"
+    ~line:Facility.Line1 ~disaster:disaster1_line1 ~configs:d1_configs ~level:third
+    ~horizon:4.5 ~points
+
+let fig5 ?(points = default_points) () =
+  survivability_fig ~fig_id:"fig5"
+    ~title:"Figure 5: Survivability Line 1, Disaster 1, X2 (service >= 2/3)"
+    ~line:Facility.Line1 ~disaster:disaster1_line1 ~configs:d1_configs
+    ~level:two_thirds ~horizon:4.5 ~points
+
+let fig6 ?(points = default_points) () =
+  cost_fig ~fig_id:"fig6" ~title:"Figure 6: Instantaneous cost Line 1, Disaster 1"
+    ~kind:`Instantaneous ~line:Facility.Line1 ~disaster:disaster1_line1
+    ~configs:d1_configs ~horizon:4.5 ~points
+
+let fig7 ?(points = default_points) () =
+  cost_fig ~fig_id:"fig7" ~title:"Figure 7: Accumulated cost Line 1, Disaster 1"
+    ~kind:`Accumulated ~line:Facility.Line1 ~disaster:disaster1_line1
+    ~configs:d1_configs ~horizon:10. ~points
+
+let fig8 ?(points = default_points) () =
+  survivability_fig ~fig_id:"fig8"
+    ~title:"Figure 8: Survivability Line 2, Disaster 2, X1 (service >= 1/3)"
+    ~line:Facility.Line2 ~disaster:disaster2_line2 ~configs:d2_surv_configs
+    ~level:third ~horizon:100. ~points
+
+let fig9 ?(points = default_points) () =
+  survivability_fig ~fig_id:"fig9"
+    ~title:"Figure 9: Survivability Line 2, Disaster 2, X3 (service >= 2/3)"
+    ~line:Facility.Line2 ~disaster:disaster2_line2 ~configs:d2_surv_configs
+    ~level:two_thirds ~horizon:100. ~points
+
+let fig10 ?(points = default_points) () =
+  cost_fig ~fig_id:"fig10" ~title:"Figure 10: Instantaneous cost Line 2, Disaster 2"
+    ~kind:`Instantaneous ~line:Facility.Line2 ~disaster:disaster2_line2
+    ~configs:d2_cost_configs ~horizon:50. ~points
+
+let fig11 ?(points = default_points) () =
+  cost_fig ~fig_id:"fig11" ~title:"Figure 11: Accumulated cost Line 2, Disaster 2"
+    ~kind:`Accumulated ~line:Facility.Line2 ~disaster:disaster2_line2
+    ~configs:d2_cost_configs ~horizon:50. ~points
+
+let generators :
+    (string * (?points:int -> unit -> artifact)) list =
+  [
+    ("table1", fun ?points () -> ignore points; Table (table1 ()));
+    ("table2", fun ?points () -> ignore points; Table (table2 ()));
+    ("fig3", fun ?points () -> Figure (fig3 ?points ()));
+    ("fig4", fun ?points () -> Figure (fig4 ?points ()));
+    ("fig5", fun ?points () -> Figure (fig5 ?points ()));
+    ("fig6", fun ?points () -> Figure (fig6 ?points ()));
+    ("fig7", fun ?points () -> Figure (fig7 ?points ()));
+    ("fig8", fun ?points () -> Figure (fig8 ?points ()));
+    ("fig9", fun ?points () -> Figure (fig9 ?points ()));
+    ("fig10", fun ?points () -> Figure (fig10 ?points ()));
+    ("fig11", fun ?points () -> Figure (fig11 ?points ()));
+  ]
+
+let ids = List.map fst generators
+
+let by_id id = List.assoc_opt id generators
+
+let all ?points () = List.map (fun (_, gen) -> gen ?points ()) generators
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let render_table ppf (t : table) =
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) t.rows)
+      t.header
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  Format.fprintf ppf "%s@." t.title;
+  let print_row cells =
+    Format.fprintf ppf "  %s@."
+      (String.concat "  " (List.map2 pad cells widths))
+  in
+  print_row t.header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row t.rows
+
+let render_figure ppf (f : figure) =
+  Format.fprintf ppf "# %s@.# x: %s, y: %s@." f.title f.xlabel f.ylabel;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "@.# series: %s@." s.label;
+      List.iter (fun (x, y) -> Format.fprintf ppf "%-12g %.9f@." x y) s.points)
+    f.series
+
+let render_artifact ppf = function
+  | Table t -> render_table ppf t
+  | Figure f -> render_figure ppf f
+
+let figure_to_csv (f : figure) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time";
+  List.iter
+    (fun s ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf s.label)
+    f.series;
+  Buffer.add_char buf '\n';
+  (match f.series with
+  | [] -> ()
+  | first :: _ ->
+      List.iteri
+        (fun i (x, _) ->
+          Buffer.add_string buf (Printf.sprintf "%g" x);
+          List.iter
+            (fun s ->
+              let _, y = List.nth s.points i in
+              Buffer.add_string buf (Printf.sprintf ",%.9f" y))
+            f.series;
+          Buffer.add_char buf '\n')
+        first.points);
+  Buffer.contents buf

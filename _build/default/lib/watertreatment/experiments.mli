@@ -1,0 +1,84 @@
+(** Reproduction drivers for every table and figure of the paper's
+    evaluation (Section 5).
+
+    Each [table*] / [fig*] function regenerates the corresponding artifact:
+
+    - {!table1}: state-space sizes per repair strategy,
+    - {!table2}: steady-state availability per strategy (and combined),
+    - {!fig3}: reliability over time for both lines (no repairs),
+    - {!fig4} / {!fig5}: survivability, Line 1, Disaster 1, service
+      intervals X1 / X2 (DED, FRF-1, FRF-2),
+    - {!fig6} / {!fig7}: instantaneous / accumulated cost, Line 1,
+      Disaster 1,
+    - {!fig8} / {!fig9}: survivability, Line 2, Disaster 2, X1 / X3,
+    - {!fig10} / {!fig11}: instantaneous / accumulated cost, Line 2,
+      Disaster 2.
+
+    Chains are built once per (line, strategy, disaster) and shared across
+    figures through an internal cache, so generating the full set costs a
+    handful of state-space constructions. *)
+
+type series = { label : string; points : (float * float) list }
+
+type figure = {
+  fig_id : string;
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+}
+
+type table = {
+  table_id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+}
+
+type artifact = Table of table | Figure of figure
+
+val table1 : unit -> table
+
+val table2 : unit -> table
+
+val fig3 : ?points:int -> unit -> figure
+
+val fig4 : ?points:int -> unit -> figure
+
+val fig5 : ?points:int -> unit -> figure
+
+val fig6 : ?points:int -> unit -> figure
+
+val fig7 : ?points:int -> unit -> figure
+
+val fig8 : ?points:int -> unit -> figure
+
+val fig9 : ?points:int -> unit -> figure
+
+val fig10 : ?points:int -> unit -> figure
+
+val fig11 : ?points:int -> unit -> figure
+
+val all : ?points:int -> unit -> artifact list
+(** Every artifact in paper order. [points] is the number of curve samples
+    per figure (default 25). *)
+
+val by_id : string -> (?points:int -> unit -> artifact) option
+(** Look up an artifact generator by id ("table1", "fig7", ...). *)
+
+val ids : string list
+
+val render_table : Format.formatter -> table -> unit
+(** Aligned plain-text rendering. *)
+
+val render_figure : Format.formatter -> figure -> unit
+(** Data rows in gnuplot-style blocks (one block per series, blank-line
+    separated) with header comments. *)
+
+val render_artifact : Format.formatter -> artifact -> unit
+
+val figure_to_csv : figure -> string
+(** Wide CSV: one [time] column plus one column per series. *)
+
+val clear_cache : unit -> unit
+(** Drop memoized chains (used by benchmarks to measure cold times). *)

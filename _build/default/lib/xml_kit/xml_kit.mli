@@ -1,0 +1,71 @@
+(** A small, self-contained XML toolkit.
+
+    Implements the subset of XML 1.0 that document-oriented model
+    interchange needs: elements, attributes, character data, comments,
+    CDATA sections, processing instructions and the five predefined
+    entities plus numeric character references. No DTD processing, no
+    namespaces-aware resolution (prefixes are kept verbatim in names).
+
+    This is the substrate for Arcade's XML input language; nothing in it is
+    Arcade-specific. *)
+
+(** Parsed document trees. Comments and processing instructions are dropped
+    by the parser; CDATA becomes ordinary text. *)
+type t =
+  | Element of string * (string * string) list * t list
+      (** name, attributes in document order, children *)
+  | Text of string
+
+exception Parse_error of { line : int; column : int; message : string }
+
+val parse_string : string -> t
+(** Parse a complete document and return its root element. Leading XML
+    declaration, comments and PIs are allowed. Raises {!Parse_error}. *)
+
+val parse_file : string -> t
+(** {!parse_string} over a file's contents. Raises [Sys_error] on IO
+    failure. *)
+
+val to_string : ?indent:int -> t -> string
+(** Serialize with the given indentation width (default 2; [0] means
+    compact single-line output). Attribute values and text are escaped.
+    Guaranteed inverse: [parse_string (to_string doc)] yields a tree equal
+    to [doc] up to whitespace-only text normalization. *)
+
+val write_file : ?indent:int -> string -> t -> unit
+
+(** {2 Tree accessors} *)
+
+val name : t -> string
+(** Element name; raises [Invalid_argument] on [Text]. *)
+
+val attribute : t -> string -> string option
+(** [attribute el key] is the attribute's value if present. *)
+
+val attribute_exn : t -> string -> string
+(** Raises [Failure] naming the element and attribute when missing. *)
+
+val children : t -> t list
+(** Child nodes of an element ([[]] for [Text]). *)
+
+val child_elements : t -> t list
+(** Only the [Element] children. *)
+
+val find_child : t -> string -> t option
+(** First child element with the given name. *)
+
+val find_child_exn : t -> string -> t
+
+val find_children : t -> string -> t list
+(** All child elements with the given name, in order. *)
+
+val text_content : t -> string
+(** Concatenated text below the node (trimmed). *)
+
+val element : string -> (string * string) list -> t list -> t
+
+val text : string -> t
+
+val escape : string -> string
+(** Escape the five XML-special characters (ampersand, angle brackets and
+    both quote characters) for inclusion in XML. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Csl Ctmc Fault_tree Float List Printf Prism QCheck QCheck_alcotest String Sys Xml_kit

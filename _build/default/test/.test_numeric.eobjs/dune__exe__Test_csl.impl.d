@@ -1,0 +1,1 @@
+test/test_csl.ml: Alcotest Csl Ctmc Float List Prism

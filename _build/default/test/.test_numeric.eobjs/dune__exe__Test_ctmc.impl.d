@@ -1,0 +1,1 @@
+test/test_ctmc.ml: Alcotest Array Ctmc Float List Numeric Printf QCheck QCheck_alcotest

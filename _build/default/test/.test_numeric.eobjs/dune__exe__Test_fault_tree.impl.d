@@ -1,0 +1,1 @@
+test/test_fault_tree.ml: Alcotest Fault_tree Fmt List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_prism.ml: Alcotest Array Ctmc List Printf Prism QCheck QCheck_alcotest

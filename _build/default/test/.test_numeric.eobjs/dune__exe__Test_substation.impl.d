@@ -1,0 +1,1 @@
+test/test_substation.ml: Alcotest Array Core Ctmc Lazy List Printf Substation

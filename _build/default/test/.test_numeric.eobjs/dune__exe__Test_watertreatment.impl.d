@@ -1,0 +1,1 @@
+test/test_watertreatment.ml: Ablations Alcotest Array Core Ctmc Experiments Facility Float Format Hashtbl List Numeric Printf String Watertreatment

@@ -1,0 +1,1 @@
+test/test_xml_kit.ml: Alcotest Fmt List Printf QCheck QCheck_alcotest String Xml_kit

@@ -1,0 +1,700 @@
+(* Tests for the CTMC engine, validated against closed-form results for
+   small chains (2-state machines, Erlang chains, birth-death queues) and
+   against the independent Monte-Carlo simulator. *)
+
+module Chain = Ctmc.Chain
+module Transient = Ctmc.Transient
+module Reachability = Ctmc.Reachability
+module Steady_state = Ctmc.Steady_state
+module Rewards = Ctmc.Rewards
+module Lumping = Ctmc.Lumping
+module Simulate = Ctmc.Simulate
+module Vec = Numeric.Vec
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* the workhorse example: 0 --a--> 1, 1 --b--> 0 *)
+let two_state a b = Chain.of_transitions ~states:2 [ (0, 1, a); (1, 0, b) ]
+
+let p0_exact a b t = (b /. (a +. b)) +. ((a /. (a +. b)) *. Float.exp (-.(a +. b) *. t))
+
+(* ------------------------------------------------------------------ *)
+(* Chain *)
+
+let test_chain_validation () =
+  Alcotest.check_raises "negative rate"
+    (Invalid_argument "Chain.make: negative rate -1 at (0,1)") (fun () ->
+      ignore (Chain.of_transitions ~states:2 [ (0, 1, -1.) ]));
+  Alcotest.check_raises "diagonal"
+    (Invalid_argument "Chain.make: non-zero diagonal entry at state 0") (fun () ->
+      ignore (Chain.of_transitions ~states:2 [ (0, 0, 1.) ]))
+
+let test_chain_accessors () =
+  let m = two_state 2. 3. in
+  Alcotest.(check int) "states" 2 (Chain.states m);
+  Alcotest.(check int) "transitions" 2 (Chain.transition_count m);
+  check_close "rate" 2. (Chain.rate m 0 1);
+  check_close "exit" 3. (Chain.exit_rates m).(1);
+  let q = Chain.generator m in
+  check_close "generator diagonal" (-2.) (Numeric.Sparse.get q 0 0)
+
+let test_chain_uniformized () =
+  let m = two_state 2. 3. in
+  let lambda, p = Chain.uniformized m in
+  Alcotest.(check bool) "lambda >= max exit" true (lambda >= 3.);
+  let sums = Numeric.Sparse.row_sums p in
+  check_close "row 0 stochastic" 1. sums.(0);
+  check_close "row 1 stochastic" 1. sums.(1)
+
+let test_chain_embedded () =
+  let m = Chain.of_transitions ~states:3 [ (0, 1, 1.); (0, 2, 3.) ] in
+  let e = Chain.embedded m in
+  check_close "jump prob" 0.25 (Numeric.Sparse.get e 0 1);
+  check_close "absorbing self-loop" 1. (Numeric.Sparse.get e 1 1)
+
+let test_chain_absorbing () =
+  let m = two_state 2. 3. in
+  let m' = Chain.absorbing m ~pred:(fun s -> s = 1) in
+  check_close "no exit from 1" 0. (Chain.exit_rates m').(1);
+  check_close "0 unchanged" 2. (Chain.exit_rates m').(0)
+
+let test_restrict_reachable () =
+  let m =
+    Chain.of_transitions ~states:4 ~init:(Vec.unit 4 0) [ (0, 1, 1.); (2, 3, 1.) ]
+  in
+  let m', old_of_new = Chain.restrict_reachable m in
+  Alcotest.(check int) "two reachable" 2 (Chain.states m');
+  Alcotest.(check (array int)) "mapping" [| 0; 1 |] old_of_new
+
+(* ------------------------------------------------------------------ *)
+(* Transient *)
+
+let test_transient_two_state () =
+  let a = 2. and b = 3. in
+  let m = two_state a b in
+  List.iter
+    (fun t ->
+      let pi = Transient.distribution m t in
+      check_close ~eps:1e-10 (Printf.sprintf "pi0(%g)" t) (p0_exact a b t) pi.(0);
+      check_close ~eps:1e-10 "mass conserved" 1. (Vec.sum pi))
+    [ 0.; 0.01; 0.3; 1.; 10.; 100. ]
+
+let test_transient_erlang () =
+  (* chain of n exponential(r) stages: P(absorbed by t) = P(Poisson(rt) >= n) *)
+  let n = 5 and r = 2. in
+  let m =
+    Chain.of_transitions ~states:(n + 1)
+      (List.init n (fun i -> (i, i + 1, r)))
+  in
+  let t = 1.7 in
+  let pi = Transient.distribution m t in
+  let poisson k =
+    let rec fact i = if i <= 1 then 1. else float_of_int i *. fact (i - 1) in
+    Float.exp (-.(r *. t)) *. ((r *. t) ** float_of_int k) /. fact k
+  in
+  let expected = 1. -. (poisson 0 +. poisson 1 +. poisson 2 +. poisson 3 +. poisson 4) in
+  check_close ~eps:1e-10 "erlang cdf" expected pi.(n)
+
+let test_transient_curve_matches_pointwise () =
+  let m = two_state 1.5 0.5 in
+  let times = [ 0.2; 1.0; 2.5; 7. ] in
+  let curve = Transient.curve m ~times in
+  List.iter
+    (fun (t, pi) ->
+      let direct = Transient.distribution m t in
+      check_close ~eps:1e-9 (Printf.sprintf "curve(%g)" t) direct.(0) pi.(0))
+    curve
+
+let test_transient_backward () =
+  let a = 2. and b = 3. in
+  let m = two_state a b in
+  let v = [| 1.; 0. |] in
+  let u = Transient.backward m v 0.7 in
+  check_close ~eps:1e-10 "backward from 0" (p0_exact a b 0.7) u.(0);
+  check_close ~eps:1e-10 "backward from 1" (1. -. p0_exact b a 0.7) u.(1)
+
+let test_transient_zero_time () =
+  let m = two_state 1. 1. in
+  let pi = Transient.distribution m 0. in
+  check_close "identity at 0" 1. pi.(0)
+
+let test_transient_absorbing_chain () =
+  let m = Chain.of_transitions ~states:1 [] in
+  let pi = Transient.distribution m 100. in
+  check_close "absorbing stays" 1. pi.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Reachability *)
+
+let test_bounded_until_pure_death () =
+  let m = Chain.of_transitions ~states:2 [ (0, 1, 2.) ] in
+  let p =
+    Reachability.bounded_until_from_init m
+      ~phi:(fun _ -> true)
+      ~psi:(fun s -> s = 1)
+      ~bound:0.9
+  in
+  check_close ~eps:1e-10 "reach by t" (1. -. Float.exp (-1.8)) p
+
+let test_bounded_until_phi_constraint () =
+  let m = Chain.of_transitions ~states:3 [ (0, 1, 1.); (1, 2, 1.) ] in
+  let p =
+    Reachability.bounded_until_from_init m
+      ~phi:(fun s -> s <> 1)
+      ~psi:(fun s -> s = 2)
+      ~bound:50.
+  in
+  check_close "blocked path" 0. p;
+  let p' =
+    Reachability.bounded_until_from_init m
+      ~phi:(fun _ -> true)
+      ~psi:(fun s -> s = 2)
+      ~bound:50.
+  in
+  Alcotest.(check bool) "unblocked is nearly certain" true (p' > 0.99)
+
+let test_bounded_until_psi_initial () =
+  let m = two_state 1. 1. in
+  let v =
+    Reachability.bounded_until m ~phi:(fun _ -> true) ~psi:(fun s -> s = 0) ~bound:0.
+  in
+  check_close "psi holds now" 1. v.(0);
+  check_close "psi does not" 0. v.(1)
+
+let test_unbounded_until_gambler () =
+  let m =
+    Chain.of_transitions ~states:4
+      [ (1, 0, 1.); (1, 2, 1.); (2, 1, 1.); (2, 3, 1.) ]
+  in
+  let v =
+    Reachability.unbounded_until m ~phi:(fun s -> s <> 0) ~psi:(fun s -> s = 3)
+  in
+  check_close ~eps:1e-9 "gambler from 1" (1. /. 3.) v.(1);
+  check_close ~eps:1e-9 "gambler from 2" (2. /. 3.) v.(2);
+  check_close "absorbed at 0" 0. v.(0);
+  check_close "already there" 1. v.(3)
+
+let test_unbounded_until_certain () =
+  let m = two_state 2. 3. in
+  let v = Reachability.eventually m ~psi:(fun s -> s = 1) in
+  check_close ~eps:1e-9 "recurrent chain reaches everything" 1. v.(0)
+
+let test_bounded_until_curve_monotone () =
+  let m = Chain.of_transitions ~states:2 [ (0, 1, 0.5) ] in
+  let points =
+    Reachability.bounded_until_curve m
+      ~phi:(fun _ -> true)
+      ~psi:(fun s -> s = 1)
+      ~bounds:[ 0.; 1.; 2.; 4.; 8. ]
+  in
+  let values = List.map snd points in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-12 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone in t" true (monotone values);
+  check_close ~eps:1e-10 "final value" (1. -. Float.exp (-4.)) (List.nth values 4)
+
+(* ------------------------------------------------------------------ *)
+(* Absorption: expected hitting times *)
+
+let test_hitting_time_two_state () =
+  let m = two_state 2. 3. in
+  let times = Ctmc.Absorption.expected_time_to m ~psi:(fun s -> s = 1) in
+  check_close ~eps:1e-10 "from 0" 0.5 times.(0);
+  check_close "on target" 0. times.(1)
+
+let test_hitting_time_erlang () =
+  (* chain of stages: expected absorption time = sum of stage means *)
+  let rates = [ 2.; 4.; 0.5 ] in
+  let m =
+    Chain.of_transitions ~states:4
+      (List.mapi (fun i r -> (i, i + 1, r)) rates)
+  in
+  let times = Ctmc.Absorption.expected_time_to m ~psi:(fun s -> s = 3) in
+  check_close ~eps:1e-9 "sum of means" (0.5 +. 0.25 +. 2.) times.(0);
+  check_close ~eps:1e-9 "tail" 2. times.(2)
+
+let test_hitting_time_unreachable () =
+  let m = Chain.of_transitions ~states:3 [ (0, 1, 1.) ] in
+  let times = Ctmc.Absorption.expected_time_to m ~psi:(fun s -> s = 2) in
+  Alcotest.(check bool) "infinite" true (times.(0) = infinity);
+  check_close "target itself" 0. times.(2)
+
+let test_hitting_time_not_almost_sure () =
+  (* 0 goes to absorbing 1 or absorbing 2: hitting 2 has probability 3/4 *)
+  let m = Chain.of_transitions ~states:3 [ (0, 1, 1.); (0, 2, 3.) ] in
+  let times = Ctmc.Absorption.expected_time_to m ~psi:(fun s -> s = 2) in
+  Alcotest.(check bool) "conditional expectation refused" true (times.(0) = infinity)
+
+let test_hitting_reward () =
+  let m = two_state 2. 3. in
+  let r =
+    Ctmc.Absorption.expected_reward_to m ~reward:[| 7.; 0. |] ~psi:(fun s -> s = 1)
+  in
+  (* rate-7 reward over an expected 1/2 hour *)
+  check_close ~eps:1e-10 "scaled" 3.5 r.(0)
+
+let test_mean_time_from_init () =
+  let m = Chain.of_transitions ~states:2 [ (0, 1, 0.25) ] in
+  check_close ~eps:1e-9 "mttf" 4. (Ctmc.Absorption.mean_time_from_init m ~psi:(fun s -> s = 1))
+
+(* interval until *)
+
+let test_interval_until_transient_target () =
+  (* 0 -l1-> 1 -l2-> 2; psi = {1}: P(exists t in [a,b] with X_t = 1) *)
+  let l1 = 0.7 and l2 = 1.3 in
+  let m = Chain.of_transitions ~states:3 [ (0, 1, l1); (1, 2, l2) ] in
+  let a = 0.9 and b = 2.1 in
+  let v =
+    Ctmc.Reachability.interval_until m
+      ~phi:(fun _ -> true)
+      ~psi:(fun s -> s = 1)
+      ~lower:a ~upper:b
+  in
+  let p0_at_a = Float.exp (-.l1 *. a) in
+  let p1_at_a = l1 /. (l2 -. l1) *. (Float.exp (-.l1 *. a) -. Float.exp (-.l2 *. a)) in
+  let expected = p1_at_a +. (p0_at_a *. (1. -. Float.exp (-.l1 *. (b -. a)))) in
+  check_close ~eps:1e-10 "analytic" expected v.(0)
+
+let test_interval_until_zero_lower () =
+  let m = two_state 1. 2. in
+  let via_interval =
+    Ctmc.Reachability.interval_until m ~phi:(fun _ -> true) ~psi:(fun s -> s = 1)
+      ~lower:0. ~upper:3.
+  in
+  let via_bounded =
+    Ctmc.Reachability.bounded_until m ~phi:(fun _ -> true) ~psi:(fun s -> s = 1)
+      ~bound:3.
+  in
+  Array.iteri (fun s v -> check_close "agrees with bounded" v via_interval.(s)) via_bounded
+
+let test_interval_until_phi_constraint () =
+  (* phi = not state 1 kills paths that pass through 1 before reaching 2 *)
+  let m = Chain.of_transitions ~states:3 [ (0, 1, 1.); (0, 2, 1.); (1, 2, 1.) ] in
+  let v =
+    Ctmc.Reachability.interval_until m
+      ~phi:(fun s -> s <> 1)
+      ~psi:(fun s -> s = 2)
+      ~lower:0.5 ~upper:10.
+  in
+  (* direct path only: P(jump to 2 rather than 1, after 0.5) + path already
+     in 2 at 0.5 having never visited 1 *)
+  Alcotest.(check bool) "strictly below unconstrained" true
+    (v.(0)
+    < (Ctmc.Reachability.interval_until m
+         ~phi:(fun _ -> true)
+         ~psi:(fun s -> s = 2)
+         ~lower:0.5 ~upper:10.).(0));
+  check_close "blocked state" 0. v.(1)
+
+let test_interval_until_monotone_widening () =
+  let m = two_state 0.3 0.9 in
+  let p lower upper =
+    (Ctmc.Reachability.interval_until m ~phi:(fun _ -> true) ~psi:(fun s -> s = 1)
+       ~lower ~upper).(0)
+  in
+  Alcotest.(check bool) "wider upper" true (p 1. 2. <= p 1. 4. +. 1e-12);
+  Alcotest.(check bool) "smaller lower" true (p 2. 4. <= p 1. 4. +. 1e-12)
+
+(* witness paths *)
+
+let test_witness_simple_choice () =
+  (* 0 -> 1 (rate 1) -> 3 (rate 1), 0 -> 2 (rate 3) -> 3 (rate 1):
+     the most probable path to 3 goes through 2 (jump prob 3/4) *)
+  let m =
+    Chain.of_transitions ~states:4
+      [ (0, 1, 1.); (0, 2, 3.); (1, 3, 1.); (2, 3, 1.) ]
+  in
+  match Ctmc.Witness.most_probable_path m ~psi:(fun s -> s = 3) with
+  | Some w ->
+      Alcotest.(check (list int)) "path" [ 0; 2; 3 ] w.Ctmc.Witness.states;
+      check_close ~eps:1e-12 "probability" 0.75 w.Ctmc.Witness.probability
+  | None -> Alcotest.fail "expected a path"
+
+let test_witness_unreachable () =
+  let m = Chain.of_transitions ~states:3 [ (0, 1, 1.) ] in
+  Alcotest.(check bool) "no path" true
+    (Ctmc.Witness.most_probable_path m ~psi:(fun s -> s = 2) = None)
+
+let test_witness_trivial () =
+  let m = two_state 1. 1. in
+  match Ctmc.Witness.most_probable_path m ~psi:(fun s -> s = 0) with
+  | Some w ->
+      Alcotest.(check (list int)) "already there" [ 0 ] w.Ctmc.Witness.states;
+      check_close "probability 1" 1. w.Ctmc.Witness.probability
+  | None -> Alcotest.fail "expected the trivial path"
+
+let test_witness_prefers_short_high_probability () =
+  (* long chain of probability-1 jumps vs a direct low-probability jump:
+     the product favours the long certain path *)
+  let m =
+    Chain.of_transitions ~states:5
+      [ (0, 4, 0.1); (0, 1, 0.9); (1, 2, 1.); (2, 3, 1.); (3, 4, 1.) ]
+  in
+  match Ctmc.Witness.most_probable_path m ~psi:(fun s -> s = 4) with
+  | Some w ->
+      Alcotest.(check (list int)) "long path wins" [ 0; 1; 2; 3; 4 ] w.Ctmc.Witness.states;
+      check_close ~eps:1e-12 "probability" 0.9 w.Ctmc.Witness.probability
+  | None -> Alcotest.fail "expected a path"
+
+(* ------------------------------------------------------------------ *)
+(* Steady state *)
+
+let test_steady_irreducible () =
+  let m = two_state 2. 3. in
+  let pi = Steady_state.solve m in
+  check_close ~eps:1e-10 "pi0" 0.6 pi.(0)
+
+let test_steady_reducible_two_absorbing () =
+  let m = Chain.of_transitions ~states:3 [ (0, 1, 1.); (0, 2, 3.) ] in
+  let pi = Steady_state.solve m in
+  check_close ~eps:1e-9 "absorbed in 1" 0.25 pi.(1);
+  check_close ~eps:1e-9 "absorbed in 2" 0.75 pi.(2);
+  check_close "transient state empty" 0. pi.(0)
+
+let test_steady_reducible_bscc_classes () =
+  let m =
+    Chain.of_transitions ~states:4
+      [ (0, 1, 1.); (0, 3, 1.); (1, 2, 1.); (2, 1, 4.) ]
+  in
+  let pi = Steady_state.solve m in
+  check_close ~eps:1e-9 "state 1" (0.5 *. 0.8) pi.(1);
+  check_close ~eps:1e-9 "state 2" (0.5 *. 0.2) pi.(2);
+  check_close ~eps:1e-9 "state 3" 0.5 pi.(3)
+
+let test_steady_depends_on_init () =
+  let m =
+    Chain.of_transitions ~states:3 ~init:(Vec.unit 3 1) [ (0, 1, 1.); (0, 2, 1.) ]
+  in
+  let pi = Steady_state.solve m in
+  check_close "starts in absorbing 1" 1. pi.(1)
+
+let test_long_run_probability () =
+  let m = two_state 2. 3. in
+  check_close ~eps:1e-10 "long run" 0.6
+    (Steady_state.long_run_probability m ~pred:(fun s -> s = 0))
+
+let test_is_irreducible () =
+  Alcotest.(check bool) "two-state" true (Steady_state.is_irreducible (two_state 1. 1.));
+  Alcotest.(check bool) "absorbing" false
+    (Steady_state.is_irreducible (Chain.of_transitions ~states:2 [ (0, 1, 1.) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Rewards *)
+
+let test_instantaneous_reward () =
+  let a = 2. and b = 3. in
+  let m = two_state a b in
+  let r = Rewards.instantaneous m ~reward:[| 5.; 1. |] ~at:0.7 in
+  let p0 = p0_exact a b 0.7 in
+  check_close ~eps:1e-10 "instantaneous" ((5. *. p0) +. (1. -. p0)) r
+
+let test_accumulated_reward_two_state () =
+  let a = 2. and b = 3. in
+  let m = two_state a b in
+  let t = 1.3 in
+  let acc = Rewards.accumulated m ~reward:[| 1.; 0. |] ~upto:t in
+  let expected =
+    (b /. (a +. b) *. t) +. (a /. ((a +. b) ** 2.) *. (1. -. Float.exp (-.(a +. b) *. t)))
+  in
+  check_close ~eps:1e-10 "accumulated" expected acc
+
+let test_accumulated_absorbing_expected_time () =
+  let m = Chain.of_transitions ~states:2 [ (0, 1, 4.) ] in
+  let acc = Rewards.accumulated m ~reward:[| 1.; 0. |] ~upto:100. in
+  check_close ~eps:1e-8 "mean absorption time" 0.25 acc
+
+let test_accumulated_curve_consistent () =
+  let m = two_state 0.8 1.2 in
+  let reward = [| 2.; 7. |] in
+  let curve = Rewards.accumulated_curve m ~reward ~times:[ 0.5; 1.5; 3. ] in
+  List.iter
+    (fun (t, v) ->
+      let direct = Rewards.accumulated m ~reward ~upto:t in
+      check_close ~eps:1e-9 (Printf.sprintf "curve(%g)" t) direct v)
+    curve
+
+let test_accumulated_linear_when_constant () =
+  let m = two_state 1. 1. in
+  let acc = Rewards.accumulated m ~reward:[| 3.; 3. |] ~upto:7. in
+  check_close ~eps:1e-9 "3t" 21. acc
+
+let test_steady_state_reward () =
+  let m = two_state 2. 3. in
+  let r = Rewards.steady_state m ~reward:[| 10.; 0. |] in
+  check_close ~eps:1e-9 "long-run reward rate" 6. r
+
+(* ------------------------------------------------------------------ *)
+(* Lumping *)
+
+let test_lump_symmetric_pair () =
+  (* two independent identical 2-state components; lump by number failed:
+     states (up,up)=0, (dn,up)=1, (up,dn)=2, (dn,dn)=3 *)
+  let lam = 0.1 and mu = 1. in
+  let m =
+    Chain.of_transitions ~states:4
+      [
+        (0, 1, lam); (0, 2, lam);
+        (1, 0, mu); (1, 3, lam);
+        (2, 0, mu); (2, 3, lam);
+        (3, 1, mu); (3, 2, mu);
+      ]
+  in
+  let initial = [| 0; 1; 1; 2 |] in
+  let r = Lumping.lump m ~initial in
+  Alcotest.(check int) "3 blocks" 3 (Chain.states r.Lumping.quotient);
+  let pi_full = Steady_state.solve m in
+  let pi_q = Steady_state.solve r.Lumping.quotient in
+  check_close ~eps:1e-9 "steady state preserved (block 1)"
+    (pi_full.(1) +. pi_full.(2))
+    pi_q.(1);
+  let t = 3.1 in
+  let full_t = Transient.distribution m t in
+  let q_t = Transient.distribution r.Lumping.quotient t in
+  check_close ~eps:1e-9 "transient preserved" (full_t.(1) +. full_t.(2)) q_t.(1)
+
+let test_lump_refines_when_needed () =
+  let m =
+    Chain.of_transitions ~states:4
+      [ (0, 1, 1.); (0, 2, 1.); (1, 3, 5.); (2, 3, 7.) ]
+  in
+  let initial = [| 0; 1; 1; 2 |] in
+  let r = Lumping.lump m ~initial in
+  Alcotest.(check int) "split into 4 blocks" 4 (Chain.states r.Lumping.quotient)
+
+let test_lump_identity_partition () =
+  let m = two_state 1. 2. in
+  let r = Lumping.lump m ~initial:[| 0; 1 |] in
+  Alcotest.(check int) "nothing to merge" 2 (Chain.states r.Lumping.quotient)
+
+let test_lump_lift_project () =
+  let m = two_state 1. 1. in
+  let r = Lumping.lump m ~initial:[| 0; 0 |] in
+  Alcotest.(check int) "single block" 1 (Chain.states r.Lumping.quotient);
+  let lifted = Lumping.lift r [| 42. |] in
+  Alcotest.(check (array (float 0.))) "lift" [| 42.; 42. |] lifted;
+  let projected = Lumping.project r [| 1.; 2. |] in
+  Alcotest.(check (array (float 0.))) "project" [| 3. |] projected
+
+(* ------------------------------------------------------------------ *)
+(* Simulate (cross-validation of the numerical engine) *)
+
+let test_simulate_transient_matches () =
+  let m = two_state 2. 3. in
+  let rng = Numeric.Rng.create 2024L in
+  let est = Simulate.estimate_transient m rng ~runs:40_000 ~at:0.7 ~pred:(fun s -> s = 0) in
+  let exact = p0_exact 2. 3. 0.7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "simulation within 5 sigma (est %.4f exact %.4f)" est.Simulate.mean exact)
+    true
+    (Float.abs (est.Simulate.mean -. exact) < (5. *. est.Simulate.std_error) +. 1e-4)
+
+let test_simulate_accumulated_matches () =
+  let m = two_state 2. 3. in
+  let rng = Numeric.Rng.create 99L in
+  let reward = [| 1.; 0. |] in
+  let est = Simulate.estimate_accumulated m rng ~runs:20_000 ~upto:1.3 ~reward in
+  let exact = Rewards.accumulated m ~reward ~upto:1.3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "accumulated within 5 sigma (est %.4f exact %.4f)" est.Simulate.mean exact)
+    true
+    (Float.abs (est.Simulate.mean -. exact) < (5. *. est.Simulate.std_error) +. 1e-4)
+
+let test_simulate_path_shape () =
+  let m = Chain.of_transitions ~states:2 [ (0, 1, 1.) ] in
+  let rng = Numeric.Rng.create 5L in
+  let path = Simulate.run m rng ~horizon:1000. in
+  (match path with
+  | (t0, s0) :: _ ->
+      check_close "starts at 0" 0. t0;
+      Alcotest.(check int) "initial state" 0 s0
+  | [] -> Alcotest.fail "empty path");
+  Alcotest.(check bool) "absorbed eventually" true (List.length path <= 2);
+  Alcotest.(check int) "ends absorbed" 1 (Simulate.state_at path 999.)
+
+let test_simulate_time_in () =
+  let path = [ (0., 0); (2., 1); (5., 0) ] in
+  check_close "time in state 0" 7. (Simulate.time_in path ~horizon:10. ~pred:(fun s -> s = 0));
+  check_close "time in state 1" 3. (Simulate.time_in path ~horizon:10. ~pred:(fun s -> s = 1));
+  check_close "truncated" 2. (Simulate.time_in path ~horizon:2. ~pred:(fun s -> s = 0))
+
+let test_simulate_reward_of_path () =
+  let path = [ (0., 0); (4., 1) ] in
+  check_close "piecewise reward" ((4. *. 2.) +. (6. *. 10.))
+    (Simulate.accumulated_reward path ~horizon:10. ~reward:[| 2.; 10. |])
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: random small chains, invariants *)
+
+let chain_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 6 in
+    let* entries =
+      list_size (int_range 1 15)
+        (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (float_range 0.01 5.))
+    in
+    let entries = List.filter (fun (i, j, _) -> i <> j) entries in
+    return (n, entries))
+
+let prop_transient_is_distribution =
+  QCheck.Test.make ~count:100 ~name:"transient distributions stay distributions"
+    (QCheck.make chain_gen)
+    (fun (n, entries) ->
+      QCheck.assume (entries <> []);
+      let m = Chain.of_transitions ~states:n entries in
+      let pi = Transient.distribution m 2.5 in
+      Vec.is_distribution ~eps:1e-6 pi)
+
+let prop_uniformization_matches_expm =
+  QCheck.Test.make ~count:60 ~name:"uniformization matches the matrix exponential"
+    (QCheck.make chain_gen)
+    (fun (n, entries) ->
+      QCheck.assume (entries <> []);
+      let m = Chain.of_transitions ~states:n entries in
+      let t = 1.3 in
+      let pi = Transient.distribution m t in
+      let e = Numeric.Expm.expm_generator (Chain.generator m) t in
+      (* the initial distribution is the point mass on state 0 *)
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-8) pi e.(0))
+
+let prop_bounded_until_in_unit_interval =
+  QCheck.Test.make ~count:100 ~name:"until probabilities lie in [0,1]"
+    (QCheck.make chain_gen)
+    (fun (n, entries) ->
+      QCheck.assume (entries <> []);
+      let m = Chain.of_transitions ~states:n entries in
+      let v =
+        Reachability.bounded_until m
+          ~phi:(fun s -> s mod 2 = 0)
+          ~psi:(fun s -> s mod 3 = 0)
+          ~bound:1.5
+      in
+      Array.for_all (fun p -> p >= -1e-9 && p <= 1. +. 1e-9) v)
+
+let prop_steady_state_is_distribution =
+  QCheck.Test.make ~count:100 ~name:"steady state is a distribution"
+    (QCheck.make chain_gen)
+    (fun (n, entries) ->
+      QCheck.assume (entries <> []);
+      let m = Chain.of_transitions ~states:n entries in
+      Vec.is_distribution ~eps:1e-6 (Steady_state.solve m))
+
+let prop_lumping_preserves_steady_state =
+  QCheck.Test.make ~count:50 ~name:"lumping preserves block steady-state mass"
+    (QCheck.make chain_gen)
+    (fun (n, entries) ->
+      QCheck.assume (entries <> []);
+      let m = Chain.of_transitions ~states:n entries in
+      let initial = Array.init n (fun s -> s mod 2) in
+      let r = Lumping.lump m ~initial in
+      let pi = Steady_state.solve m in
+      let pi_q = Steady_state.solve r.Lumping.quotient in
+      let projected = Lumping.project r pi in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-6) projected pi_q)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "ctmc"
+    [
+      ( "chain",
+        [
+          Alcotest.test_case "validation" `Quick test_chain_validation;
+          Alcotest.test_case "accessors" `Quick test_chain_accessors;
+          Alcotest.test_case "uniformized" `Quick test_chain_uniformized;
+          Alcotest.test_case "embedded" `Quick test_chain_embedded;
+          Alcotest.test_case "absorbing" `Quick test_chain_absorbing;
+          Alcotest.test_case "restrict reachable" `Quick test_restrict_reachable;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "two-state analytic" `Quick test_transient_two_state;
+          Alcotest.test_case "erlang cdf" `Quick test_transient_erlang;
+          Alcotest.test_case "curve matches pointwise" `Quick
+            test_transient_curve_matches_pointwise;
+          Alcotest.test_case "backward" `Quick test_transient_backward;
+          Alcotest.test_case "zero time" `Quick test_transient_zero_time;
+          Alcotest.test_case "absorbing chain" `Quick test_transient_absorbing_chain;
+        ]
+        @ qsuite [ prop_transient_is_distribution; prop_uniformization_matches_expm ] );
+      ( "reachability",
+        [
+          Alcotest.test_case "pure death" `Quick test_bounded_until_pure_death;
+          Alcotest.test_case "phi constraint" `Quick test_bounded_until_phi_constraint;
+          Alcotest.test_case "psi initial" `Quick test_bounded_until_psi_initial;
+          Alcotest.test_case "gambler's ruin" `Quick test_unbounded_until_gambler;
+          Alcotest.test_case "recurrent certain" `Quick test_unbounded_until_certain;
+          Alcotest.test_case "curve monotone" `Quick test_bounded_until_curve_monotone;
+        ]
+        @ qsuite [ prop_bounded_until_in_unit_interval ] );
+      ( "absorption",
+        [
+          Alcotest.test_case "two-state hitting time" `Quick test_hitting_time_two_state;
+          Alcotest.test_case "erlang stages" `Quick test_hitting_time_erlang;
+          Alcotest.test_case "unreachable is infinite" `Quick test_hitting_time_unreachable;
+          Alcotest.test_case "sub-probability hit is infinite" `Quick
+            test_hitting_time_not_almost_sure;
+          Alcotest.test_case "reward until hit" `Quick test_hitting_reward;
+          Alcotest.test_case "initial-weighted" `Quick test_mean_time_from_init;
+        ] );
+      ( "interval-until",
+        [
+          Alcotest.test_case "transient target analytic" `Quick
+            test_interval_until_transient_target;
+          Alcotest.test_case "zero lower bound" `Quick test_interval_until_zero_lower;
+          Alcotest.test_case "phi constraint" `Quick test_interval_until_phi_constraint;
+          Alcotest.test_case "monotone widening" `Quick
+            test_interval_until_monotone_widening;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "probable branch" `Quick test_witness_simple_choice;
+          Alcotest.test_case "unreachable" `Quick test_witness_unreachable;
+          Alcotest.test_case "trivial" `Quick test_witness_trivial;
+          Alcotest.test_case "certain long path" `Quick
+            test_witness_prefers_short_high_probability;
+        ] );
+      ( "steady-state",
+        [
+          Alcotest.test_case "irreducible" `Quick test_steady_irreducible;
+          Alcotest.test_case "two absorbing states" `Quick
+            test_steady_reducible_two_absorbing;
+          Alcotest.test_case "bscc classes" `Quick test_steady_reducible_bscc_classes;
+          Alcotest.test_case "initial distribution matters" `Quick
+            test_steady_depends_on_init;
+          Alcotest.test_case "long-run probability" `Quick test_long_run_probability;
+          Alcotest.test_case "irreducibility check" `Quick test_is_irreducible;
+        ]
+        @ qsuite [ prop_steady_state_is_distribution ] );
+      ( "rewards",
+        [
+          Alcotest.test_case "instantaneous" `Quick test_instantaneous_reward;
+          Alcotest.test_case "accumulated two-state" `Quick
+            test_accumulated_reward_two_state;
+          Alcotest.test_case "mean absorption time" `Quick
+            test_accumulated_absorbing_expected_time;
+          Alcotest.test_case "curve consistent" `Quick test_accumulated_curve_consistent;
+          Alcotest.test_case "constant reward linear" `Quick
+            test_accumulated_linear_when_constant;
+          Alcotest.test_case "steady-state reward" `Quick test_steady_state_reward;
+        ] );
+      ( "lumping",
+        [
+          Alcotest.test_case "symmetric pair" `Quick test_lump_symmetric_pair;
+          Alcotest.test_case "refinement splits" `Quick test_lump_refines_when_needed;
+          Alcotest.test_case "identity partition" `Quick test_lump_identity_partition;
+          Alcotest.test_case "lift and project" `Quick test_lump_lift_project;
+        ]
+        @ qsuite [ prop_lumping_preserves_steady_state ] );
+      ( "simulate",
+        [
+          Alcotest.test_case "transient estimate" `Slow test_simulate_transient_matches;
+          Alcotest.test_case "accumulated estimate" `Slow
+            test_simulate_accumulated_matches;
+          Alcotest.test_case "path shape" `Quick test_simulate_path_shape;
+          Alcotest.test_case "time in predicate" `Quick test_simulate_time_in;
+          Alcotest.test_case "path reward" `Quick test_simulate_reward_of_path;
+        ] );
+    ]

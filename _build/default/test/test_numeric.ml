@@ -1,0 +1,509 @@
+(* Tests for the numerical substrate: vectors, sparse matrices, Fox-Glynn
+   Poisson weights, iterative solvers, graph algorithms and the PRNG. *)
+
+module Vec = Numeric.Vec
+module Sparse = Numeric.Sparse
+module Fox_glynn = Numeric.Fox_glynn
+module Solver = Numeric.Solver
+module Digraph = Numeric.Digraph
+module Rng = Numeric.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_basics () =
+  let v = Vec.create 4 2.5 in
+  check_float "sum" 10. (Vec.sum v);
+  check_float "dot" 25. (Vec.dot v v);
+  let u = Vec.unit 4 2 in
+  check_float "unit dot" 2.5 (Vec.dot v u);
+  check_float "linf" 2.5 (Vec.linf_distance v (Vec.zeros 4));
+  Alcotest.(check bool) "unit is distribution" true (Vec.is_distribution u);
+  Alcotest.(check bool) "v is not distribution" false (Vec.is_distribution v)
+
+let test_vec_axpy () =
+  let x = [| 1.; 2.; 3. |] and y = [| 10.; 20.; 30. |] in
+  Vec.axpy 2. x y;
+  Alcotest.(check (array (float 1e-12))) "axpy" [| 12.; 24.; 36. |] y
+
+let test_vec_normalize () =
+  let v = [| 1.; 3. |] in
+  Vec.normalize_l1 v;
+  check_float "normalized head" 0.25 v.(0);
+  Alcotest.check_raises "normalize zero" (Invalid_argument "Vec.normalize_l1: non-positive sum")
+    (fun () -> Vec.normalize_l1 (Vec.zeros 3))
+
+let test_vec_mismatch () =
+  Alcotest.check_raises "dot mismatch"
+    (Invalid_argument "Vec.dot: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.dot [| 1.; 2. |] [| 1.; 2.; 3. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Sparse *)
+
+let example_matrix () =
+  Sparse.of_triplets ~rows:3 ~cols:3
+    [ (0, 1, 2.); (1, 0, 3.); (1, 2, 1.); (2, 2, 5.); (0, 1, 1.) ]
+
+let test_sparse_build_get () =
+  let m = example_matrix () in
+  check_float "duplicates summed" 3. (Sparse.get m 0 1);
+  check_float "simple" 3. (Sparse.get m 1 0);
+  check_float "absent" 0. (Sparse.get m 0 0);
+  Alcotest.(check int) "nnz" 4 (Sparse.nnz m)
+
+let test_sparse_dense_roundtrip () =
+  let d = [| [| 0.; 1.5; 0. |]; [| 2.; 0.; -3. |] |] in
+  let m = Sparse.of_dense d in
+  Alcotest.(check (array (array (float 0.)))) "roundtrip" d (Sparse.to_dense m)
+
+let test_sparse_mul_vec () =
+  let m = example_matrix () in
+  let x = [| 1.; 2.; 3. |] in
+  (* rows: [0 3 0; 3 0 1; 0 0 5] *)
+  Alcotest.(check (array (float 1e-12))) "m*x" [| 6.; 6.; 15. |] (Sparse.mul_vec m x);
+  Alcotest.(check (array (float 1e-12))) "x*m" [| 6.; 3.; 17. |] (Sparse.vec_mul x m)
+
+let test_sparse_transpose () =
+  let m = example_matrix () in
+  let t = Sparse.transpose m in
+  check_float "transpose" 3. (Sparse.get t 1 0);
+  check_float "transpose2" 3. (Sparse.get t 0 1);
+  Alcotest.(check bool) "double transpose" true
+    (Sparse.equal m (Sparse.transpose t))
+
+let test_sparse_row_sums () =
+  let m = example_matrix () in
+  Alcotest.(check (array (float 1e-12))) "row sums" [| 3.; 4.; 5. |] (Sparse.row_sums m)
+
+let test_sparse_zero_dropped () =
+  let m = Sparse.of_triplets ~rows:2 ~cols:2 [ (0, 0, 1.); (0, 0, -1.); (1, 1, 2.) ] in
+  Alcotest.(check int) "exact zero dropped" 1 (Sparse.nnz m)
+
+let sparse_triplets_gen =
+  QCheck.Gen.(
+    let* rows = int_range 1 8 in
+    let* cols = int_range 1 8 in
+    let* n = int_range 0 20 in
+    let* entries =
+      list_size (return n)
+        (triple (int_range 0 (rows - 1)) (int_range 0 (cols - 1))
+           (float_range (-10.) 10.))
+    in
+    return (rows, cols, entries))
+
+let prop_spmv_matches_dense =
+  QCheck.Test.make ~count:200 ~name:"sparse mul_vec matches dense multiply"
+    (QCheck.make sparse_triplets_gen)
+    (fun (rows, cols, entries) ->
+      let m = Sparse.of_triplets ~rows ~cols entries in
+      let d = Sparse.to_dense m in
+      let x = Array.init cols (fun i -> float_of_int (i + 1)) in
+      let expected =
+        Array.init rows (fun i ->
+            Array.fold_left ( +. ) 0. (Array.mapi (fun j v -> v *. x.(j)) d.(i)))
+      in
+      let got = Sparse.mul_vec m x in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) expected got)
+
+let prop_transpose_involution =
+  QCheck.Test.make ~count:200 ~name:"transpose is an involution"
+    (QCheck.make sparse_triplets_gen)
+    (fun (rows, cols, entries) ->
+      let m = Sparse.of_triplets ~rows ~cols entries in
+      Sparse.equal m (Sparse.transpose (Sparse.transpose m)))
+
+(* ------------------------------------------------------------------ *)
+(* Fox-Glynn *)
+
+let poisson_pmf lambda k =
+  (* direct computation in log space, reliable for moderate lambda *)
+  let log_p =
+    (float_of_int k *. Float.log lambda) -. lambda
+    -.
+    let acc = ref 0. in
+    for i = 2 to k do
+      acc := !acc +. Float.log (float_of_int i)
+    done;
+    !acc
+  in
+  Float.exp log_p
+
+let test_fox_glynn_small () =
+  let fg = Fox_glynn.compute 3.7 in
+  for k = 0 to 15 do
+    check_close ~eps:1e-10
+      (Printf.sprintf "pmf at %d" k)
+      (poisson_pmf 3.7 k) (Fox_glynn.pmf fg k)
+  done
+
+let test_fox_glynn_mass () =
+  List.iter
+    (fun lambda ->
+      let fg = Fox_glynn.compute lambda in
+      let mass = Fox_glynn.total_mass fg in
+      Alcotest.(check bool)
+        (Printf.sprintf "mass near 1 for lambda=%g (got %.15f)" lambda mass)
+        true
+        (mass <= 1. +. 1e-9 && mass >= 1. -. 1e-6))
+    [ 0.001; 0.5; 1.; 10.; 100.; 1_000.; 10_000.; 250_000. ]
+
+let test_fox_glynn_zero () =
+  let fg = Fox_glynn.compute 0. in
+  check_float "lambda 0" 1. (Fox_glynn.pmf fg 0);
+  check_float "lambda 0 tail" 0. (Fox_glynn.pmf fg 1)
+
+let test_fox_glynn_window () =
+  let lambda = 10_000. in
+  let fg = Fox_glynn.compute lambda in
+  let open Fox_glynn in
+  Alcotest.(check bool) "mode inside window" true
+    (fg.left <= 10_000 && 10_000 <= fg.right);
+  (* window should be a few std deviations, i.e. O(sqrt lambda) wide *)
+  Alcotest.(check bool) "window reasonably tight" true
+    (fg.right - fg.left < 20 * int_of_float (sqrt lambda))
+
+let test_fox_glynn_tail () =
+  let fg = Fox_glynn.compute 5. in
+  let tail = Fox_glynn.cumulative_tail fg in
+  check_close ~eps:1e-9 "tail at left = total" (Fox_glynn.total_mass fg) tail.(0);
+  let n = Array.length tail in
+  check_float "tail end" 0. tail.(n - 1)
+
+let test_fox_glynn_invalid () =
+  Alcotest.check_raises "negative lambda"
+    (Invalid_argument "Fox_glynn.compute: negative lambda") (fun () ->
+      ignore (Fox_glynn.compute (-1.)))
+
+(* ------------------------------------------------------------------ *)
+(* Solver *)
+
+let test_gauss_seidel_diag_dominant () =
+  (* 4x + y = 9; x + 5y = 16 -> x = 29/19? compute directly *)
+  let a = Sparse.of_dense [| [| 4.; 1. |]; [| 1.; 5. |] |] in
+  let b = [| 9.; 16. |] in
+  let x, conv = Solver.solve_gauss_seidel a b in
+  Alcotest.(check bool) "converged" true conv.Solver.converged;
+  check_close ~eps:1e-9 "x0" (29. /. 19.) x.(0);
+  check_close ~eps:1e-9 "x1" (55. /. 19.) x.(1)
+
+let test_jacobi_agrees_with_gs () =
+  let a =
+    Sparse.of_dense [| [| 10.; 2.; 1. |]; [| 1.; 8.; -2. |]; [| 0.; 1.; 5. |] |]
+  in
+  let b = [| 7.; -3.; 2. |] in
+  let x_gs, _ = Solver.solve_gauss_seidel a b in
+  let x_j, _ = Solver.solve_jacobi a b in
+  Array.iteri (fun i v -> check_close ~eps:1e-8 (Printf.sprintf "x%d" i) v x_j.(i)) x_gs
+
+let test_gs_zero_diagonal () =
+  let a = Sparse.of_dense [| [| 0.; 1. |]; [| 1.; 1. |] |] in
+  Alcotest.check_raises "zero diagonal"
+    (Invalid_argument "Solver.solve_gauss_seidel: zero diagonal at row 0") (fun () ->
+      ignore (Solver.solve_gauss_seidel a [| 1.; 1. |]))
+
+let test_steady_state_two_state () =
+  (* generator for rates 0->1: 2, 1->0: 3 *)
+  let q = Sparse.of_dense [| [| -2.; 2. |]; [| 3.; -3. |] |] in
+  let pi, _ = Solver.steady_state_gauss_seidel q in
+  check_close ~eps:1e-10 "pi0" 0.6 pi.(0);
+  check_close ~eps:1e-10 "pi1" 0.4 pi.(1)
+
+let test_steady_state_birth_death () =
+  (* M/M/1/3 queue, lambda=1, mu=2: pi_i ~ (1/2)^i *)
+  let q =
+    Sparse.of_dense
+      [|
+        [| -1.; 1.; 0.; 0. |];
+        [| 2.; -3.; 1.; 0. |];
+        [| 0.; 2.; -3.; 1. |];
+        [| 0.; 0.; 2.; -2. |];
+      |]
+  in
+  let pi, _ = Solver.steady_state_gauss_seidel q in
+  let z = 1. +. 0.5 +. 0.25 +. 0.125 in
+  List.iteri
+    (fun i expected -> check_close ~eps:1e-10 (Printf.sprintf "pi%d" i) expected pi.(i))
+    [ 1. /. z; 0.5 /. z; 0.25 /. z; 0.125 /. z ]
+
+let test_power_iteration () =
+  let p = Sparse.of_dense [| [| 0.5; 0.5 |]; [| 0.25; 0.75 |] |] in
+  let pi, _ = Solver.power_iteration p [| 1.; 0. |] in
+  (* stationary: pi = (1/3, 2/3) *)
+  check_close ~eps:1e-9 "pi0" (1. /. 3.) pi.(0);
+  check_close ~eps:1e-9 "pi1" (2. /. 3.) pi.(1)
+
+let prop_gs_solves_random_dd_system =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      let* off = list_size (return (n * n)) (float_range (-1.) 1.) in
+      let* b = list_size (return n) (float_range (-5.) 5.) in
+      return (n, off, b))
+  in
+  QCheck.Test.make ~count:100 ~name:"gauss-seidel solves diagonally dominant systems"
+    (QCheck.make gen)
+    (fun (n, off, b) ->
+      let off = Array.of_list off in
+      let d =
+        Array.init n (fun i ->
+            Array.init n (fun j -> if i = j then 0. else off.((i * n) + j)))
+      in
+      (* make strictly diagonally dominant *)
+      Array.iteri
+        (fun i row ->
+          let s = Array.fold_left (fun acc x -> acc +. Float.abs x) 0. row in
+          row.(i) <- s +. 1.)
+        d;
+      let a = Sparse.of_dense d in
+      let b = Array.of_list b in
+      let x, _ = Solver.solve_gauss_seidel a b in
+      let r = Sparse.mul_vec a x in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) r b)
+
+(* ------------------------------------------------------------------ *)
+(* Expm *)
+
+let test_expm_diagonal () =
+  let e = Numeric.Expm.expm [| [| 1.; 0. |]; [| 0.; -2. |] |] in
+  check_close ~eps:1e-12 "e^1" (Float.exp 1.) e.(0).(0);
+  check_close ~eps:1e-12 "e^-2" (Float.exp (-2.)) e.(1).(1);
+  check_close "off diag" 0. e.(0).(1)
+
+let test_expm_nilpotent () =
+  (* strictly upper triangular: series terminates exactly *)
+  let e = Numeric.Expm.expm [| [| 0.; 3. |]; [| 0.; 0. |] |] in
+  check_close ~eps:1e-14 "identity part" 1. e.(0).(0);
+  check_close ~eps:1e-14 "linear part" 3. e.(0).(1)
+
+let test_expm_generator_rows_stochastic () =
+  let q =
+    Sparse.of_dense [| [| -2.; 2.; 0. |]; [| 1.; -3.; 2. |]; [| 0.; 4.; -4. |] |]
+  in
+  let e = Numeric.Expm.expm_generator q 0.7 in
+  Array.iteri
+    (fun i row ->
+      let sum = Array.fold_left ( +. ) 0. row in
+      check_close ~eps:1e-10 (Printf.sprintf "row %d stochastic" i) 1. sum;
+      Array.iter (fun x -> Alcotest.(check bool) "non-negative" true (x >= -1e-12)) row)
+    e
+
+let test_expm_two_state_exact () =
+  let a = 2. and b = 3. in
+  let q = Sparse.of_dense [| [| -.a; a |]; [| b; -.b |] |] in
+  let t = 0.9 in
+  let e = Numeric.Expm.expm_generator q t in
+  let exact = (b /. (a +. b)) +. (a /. (a +. b)) *. Float.exp (-.(a +. b) *. t) in
+  check_close ~eps:1e-12 "p00" exact e.(0).(0)
+
+let test_expm_not_square () =
+  Alcotest.check_raises "not square" (Invalid_argument "Expm: matrix not square")
+    (fun () -> ignore (Numeric.Expm.expm [| [| 1.; 2. |] |]))
+
+(* ------------------------------------------------------------------ *)
+(* Digraph *)
+
+let test_scc_simple_cycle () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 0;
+  let comp, members = Digraph.sccs g in
+  Alcotest.(check int) "one SCC" 1 (Array.length members);
+  Alcotest.(check int) "all same" comp.(0) comp.(2)
+
+let test_scc_chain () =
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 3;
+  let comp, members = Digraph.sccs g in
+  Alcotest.(check int) "four SCCs" 4 (Array.length members);
+  (* reverse topological order: edges go from higher comp index to lower *)
+  Alcotest.(check bool) "rev topo" true (comp.(0) > comp.(1) && comp.(1) > comp.(2))
+
+let test_scc_two_components () =
+  let g = Digraph.create 5 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 0;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 3;
+  Digraph.add_edge g 3 2;
+  (* vertex 4 isolated *)
+  let _, members = Digraph.sccs g in
+  Alcotest.(check int) "three SCCs" 3 (Array.length members);
+  let bsccs = Digraph.bottom_sccs g in
+  (* bottom SCCs: {2,3} and {4} *)
+  Alcotest.(check int) "two BSCCs" 2 (Array.length bsccs)
+
+let test_scc_deep_chain_no_overflow () =
+  let n = 200_000 in
+  let g = Digraph.create n in
+  for i = 0 to n - 2 do
+    Digraph.add_edge g i (i + 1)
+  done;
+  let _, members = Digraph.sccs g in
+  Alcotest.(check int) "all singletons" n (Array.length members)
+
+let test_reachability () =
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 2 3;
+  let r = Digraph.reachable g [ 0 ] in
+  Alcotest.(check (list bool)) "reach from 0" [ true; true; false; false ]
+    (Array.to_list r);
+  let co = Digraph.coreachable g [ 3 ] in
+  Alcotest.(check (list bool)) "coreach 3" [ false; false; true; true ]
+    (Array.to_list co)
+
+let random_graph_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 12 in
+    let* edges = list_size (int_range 0 30) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+    return (n, edges))
+
+let prop_condensation_acyclic =
+  QCheck.Test.make ~count:200 ~name:"SCC condensation has no forward edges"
+    (QCheck.make random_graph_gen)
+    (fun (n, edges) ->
+      let g = Digraph.create n in
+      List.iter (fun (u, v) -> Digraph.add_edge g u v) edges;
+      let comp, _ = Digraph.sccs g in
+      List.for_all (fun (u, v) -> comp.(u) >= comp.(v)) edges)
+
+let prop_bottom_sccs_have_no_exit =
+  QCheck.Test.make ~count:200 ~name:"bottom SCCs have no leaving edges"
+    (QCheck.make random_graph_gen)
+    (fun (n, edges) ->
+      let g = Digraph.create n in
+      List.iter (fun (u, v) -> Digraph.add_edge g u v) edges;
+      let bsccs = Digraph.bottom_sccs g in
+      Array.for_all
+        (fun members ->
+          List.for_all
+            (fun u ->
+              List.for_all (fun v -> List.mem v members) (Digraph.successors g u))
+            members)
+        bsccs)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done
+
+let test_rng_float_range () =
+  let g = Rng.create 7L in
+  for _ = 1 to 10_000 do
+    let x = Rng.float g in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_rng_exponential_mean () =
+  let g = Rng.create 11L in
+  let n = 100_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential g ~rate:2.
+  done;
+  check_close ~eps:0.01 "mean 1/rate" 0.5 (!acc /. float_of_int n)
+
+let test_rng_choose_weighted () =
+  let g = Rng.create 3L in
+  let counts = [| 0; 0; 0 |] in
+  let n = 30_000 in
+  for _ = 1 to n do
+    let k = Rng.choose_weighted g [| 1.; 2.; 1. |] in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_close ~eps:0.02 "middle gets half" 0.5 (float_of_int counts.(1) /. float_of_int n);
+  Alcotest.check_raises "zero weights"
+    (Invalid_argument "Rng.choose_weighted: zero total weight") (fun () ->
+      ignore (Rng.choose_weighted g [| 0.; 0. |]))
+
+let test_rng_int_bounds () =
+  let g = Rng.create 5L in
+  for _ = 1 to 10_000 do
+    let k = Rng.int g 7 in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 7)
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "numeric"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "axpy" `Quick test_vec_axpy;
+          Alcotest.test_case "normalize" `Quick test_vec_normalize;
+          Alcotest.test_case "dimension mismatch" `Quick test_vec_mismatch;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "build and get" `Quick test_sparse_build_get;
+          Alcotest.test_case "dense roundtrip" `Quick test_sparse_dense_roundtrip;
+          Alcotest.test_case "matrix-vector products" `Quick test_sparse_mul_vec;
+          Alcotest.test_case "transpose" `Quick test_sparse_transpose;
+          Alcotest.test_case "row sums" `Quick test_sparse_row_sums;
+          Alcotest.test_case "zero entries dropped" `Quick test_sparse_zero_dropped;
+        ]
+        @ qsuite [ prop_spmv_matches_dense; prop_transpose_involution ] );
+      ( "fox-glynn",
+        [
+          Alcotest.test_case "matches direct pmf" `Quick test_fox_glynn_small;
+          Alcotest.test_case "mass ~ 1 across magnitudes" `Quick test_fox_glynn_mass;
+          Alcotest.test_case "lambda zero" `Quick test_fox_glynn_zero;
+          Alcotest.test_case "window around mode" `Quick test_fox_glynn_window;
+          Alcotest.test_case "cumulative tail" `Quick test_fox_glynn_tail;
+          Alcotest.test_case "invalid input" `Quick test_fox_glynn_invalid;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "gauss-seidel 2x2" `Quick test_gauss_seidel_diag_dominant;
+          Alcotest.test_case "jacobi agrees" `Quick test_jacobi_agrees_with_gs;
+          Alcotest.test_case "zero diagonal rejected" `Quick test_gs_zero_diagonal;
+          Alcotest.test_case "steady state 2-state" `Quick test_steady_state_two_state;
+          Alcotest.test_case "steady state birth-death" `Quick test_steady_state_birth_death;
+          Alcotest.test_case "power iteration" `Quick test_power_iteration;
+        ]
+        @ qsuite [ prop_gs_solves_random_dd_system ] );
+      ( "expm",
+        [
+          Alcotest.test_case "diagonal" `Quick test_expm_diagonal;
+          Alcotest.test_case "nilpotent" `Quick test_expm_nilpotent;
+          Alcotest.test_case "generator rows stochastic" `Quick
+            test_expm_generator_rows_stochastic;
+          Alcotest.test_case "two-state exact" `Quick test_expm_two_state_exact;
+          Alcotest.test_case "not square" `Quick test_expm_not_square;
+        ] );
+      ( "digraph",
+        [
+          Alcotest.test_case "single cycle" `Quick test_scc_simple_cycle;
+          Alcotest.test_case "chain" `Quick test_scc_chain;
+          Alcotest.test_case "two components + isolated" `Quick test_scc_two_components;
+          Alcotest.test_case "deep chain (iterative tarjan)" `Slow
+            test_scc_deep_chain_no_overflow;
+          Alcotest.test_case "reachability" `Quick test_reachability;
+        ]
+        @ qsuite [ prop_condensation_acyclic; prop_bottom_sccs_have_no_exit ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+          Alcotest.test_case "weighted choice" `Quick test_rng_choose_weighted;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        ] );
+    ]

@@ -1,0 +1,584 @@
+(* Regression tests against the paper's published numbers and qualitative
+   claims. The dedicated-repair rows of Table 2 are reproduced exactly (they
+   validate the reverse-engineered MTTF/MTTR assignment); queue-based
+   strategies match the paper's state counts for one crew and its qualitative
+   ordering everywhere. *)
+
+open Watertreatment
+module Measures = Core.Measures
+module Semantics = Core.Semantics
+module Chain = Ctmc.Chain
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let cached : (string, Measures.t) Hashtbl.t = Hashtbl.create 16
+
+let analyze ?disaster line config =
+  let key =
+    Printf.sprintf "%s/%s/%b" (Facility.line_name line) (Facility.config_name config)
+      (disaster <> None)
+  in
+  match Hashtbl.find_opt cached key with
+  | Some m -> m
+  | None ->
+      let m =
+        match disaster with
+        | None -> Facility.analyze line config
+        | Some failed -> Facility.analyze_after_disaster line config ~failed
+      in
+      Hashtbl.replace cached key m;
+      m
+
+let chain_of m = (Measures.built m).Semantics.chain
+
+(* ------------------------------------------------------------------ *)
+(* Model structure *)
+
+let test_component_rates () =
+  check_close "pump mttf" 500. (Facility.mttf "pump1");
+  check_close "pump mttr" 1. (Facility.mttr "pump1");
+  check_close "st" 2000. (Facility.mttf "st2");
+  check_close "sf" 100. (Facility.mttr "sf1");
+  check_close "res" 6000. (Facility.mttf "res")
+
+let test_line_shapes () =
+  let m1 = Facility.line_model Facility.Line1 Facility.ded in
+  Alcotest.(check int) "line 1 components" 11 (List.length m1.Core.Model.components);
+  let m2 = Facility.line_model Facility.Line2 Facility.ded in
+  Alcotest.(check int) "line 2 components" 9 (List.length m2.Core.Model.components)
+
+let test_service_intervals () =
+  (* paper: Line 1 has 3 positive intervals, Line 2 has 4 *)
+  Alcotest.(check int) "line 1 intervals" 3
+    (List.length (Facility.service_intervals Facility.Line1));
+  Alcotest.(check int) "line 2 intervals" 4
+    (List.length (Facility.service_intervals Facility.Line2));
+  let lows = List.map fst (Facility.service_intervals Facility.Line2) in
+  List.iter2 (fun e a -> check_close ~eps:1e-9 "interval low" e a)
+    [ 1. /. 3.; 0.5; 2. /. 3.; 1. ] lows
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: state spaces *)
+
+let test_table1_dedicated_counts () =
+  (* paper: 2048/22528 (Line 1), 512 (Line 2) *)
+  let c1 = chain_of (analyze Facility.Line1 Facility.ded) in
+  Alcotest.(check int) "line1 ded states" 2048 (Chain.states c1);
+  Alcotest.(check int) "line1 ded transitions" 22528 (Chain.transition_count c1);
+  let c2 = chain_of (analyze Facility.Line2 Facility.ded) in
+  Alcotest.(check int) "line2 ded states" 512 (Chain.states c2)
+
+let test_table1_single_crew_counts_match_paper () =
+  (* paper Table 1: FRF-1/FFF-1 have 111809 (Line 1) and 8129 (Line 2)
+     states; our canonical queue encoding reproduces these exactly *)
+  Alcotest.(check int) "line1 frf-1" 111809
+    (Chain.states (chain_of (analyze Facility.Line1 (Facility.frf 1))));
+  Alcotest.(check int) "line2 frf-1" 8129
+    (Chain.states (chain_of (analyze Facility.Line2 (Facility.frf 1))));
+  Alcotest.(check int) "line2 fff-1" 8129
+    (Chain.states (chain_of (analyze Facility.Line2 (Facility.fff 1))))
+
+let test_table1_frf_fff_same_size () =
+  (* paper: FRF and FFF have identical state-space sizes *)
+  List.iter
+    (fun crews ->
+      Alcotest.(check int)
+        (Printf.sprintf "frf-%d = fff-%d" crews crews)
+        (Chain.states (chain_of (analyze Facility.Line2 (Facility.frf crews))))
+        (Chain.states (chain_of (analyze Facility.Line2 (Facility.fff crews)))))
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: availability *)
+
+let paper_table2 =
+  (* strategy, line 1, line 2, combined — from the paper *)
+  [
+    (Facility.ded, 0.7442018, 0.8186317, 0.9536063);
+    (Facility.frf 1, 0.7225597, 0.8101931, 0.9473399);
+    (Facility.frf 2, 0.7439214, 0.8186312, 0.9535554);
+    (Facility.fff 1, 0.7273540, 0.8120302, 0.9487508);
+    (Facility.fff 2, 0.7440022, 0.8186662, 0.9535790);
+  ]
+
+let test_table2_dedicated_exact () =
+  let m1 = analyze Facility.Line1 Facility.ded in
+  let m2 = analyze Facility.Line2 Facility.ded in
+  check_close ~eps:5e-7 "line 1" 0.7442018 (Measures.availability m1);
+  check_close ~eps:5e-7 "line 2" 0.8186317 (Measures.availability m2);
+  check_close ~eps:5e-7 "combined" 0.9536063
+    (Measures.combined_availability
+       [ Measures.availability m1; Measures.availability m2 ])
+
+let test_table2_queue_strategies_close () =
+  (* our queue encoding differs from the authors' in unobservable details,
+     so match to 1e-2 absolute and verify the ordering below *)
+  List.iter
+    (fun (config, a1, a2, _) ->
+      check_close ~eps:0.01
+        (Facility.config_name config ^ " line1")
+        a1
+        (Measures.availability (analyze Facility.Line1 config));
+      check_close ~eps:0.01
+        (Facility.config_name config ^ " line2")
+        a2
+        (Measures.availability (analyze Facility.Line2 config)))
+    paper_table2
+
+let test_table2_ordering () =
+  (* the paper's qualitative claims: DED best; two crews close behind;
+     one crew significantly lower *)
+  List.iter
+    (fun line ->
+      let a config = Measures.availability (analyze line config) in
+      let ded = a Facility.ded in
+      let frf1 = a (Facility.frf 1) and frf2 = a (Facility.frf 2) in
+      let fff1 = a (Facility.fff 1) and fff2 = a (Facility.fff 2) in
+      Alcotest.(check bool) "ded highest" true (ded >= frf2 && ded >= fff2);
+      Alcotest.(check bool) "2 crews beat 1 crew" true (frf2 > frf1 && fff2 > fff1);
+      Alcotest.(check bool) "2 crews within 0.001 of ded" true
+        (ded -. frf2 < 0.001 && ded -. fff2 < 0.001);
+      Alcotest.(check bool) "1 crew notably lower" true (ded -. frf1 > 0.005))
+    [ Facility.Line1; Facility.Line2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: reliability *)
+
+let test_fig3_line2_more_reliable () =
+  (* paper: Line 2 is more reliable than Line 1 despite less redundancy *)
+  let m1 = Measures.analyze (Facility.reliability_model Facility.Line1) in
+  let m2 = Measures.analyze (Facility.reliability_model Facility.Line2) in
+  List.iter
+    (fun t ->
+      let r1 = Measures.reliability m1 ~time:t in
+      let r2 = Measures.reliability m2 ~time:t in
+      Alcotest.(check bool)
+        (Printf.sprintf "R2 > R1 at %g (%.4f vs %.4f)" t r2 r1)
+        true (r2 > r1))
+    [ 100.; 300.; 600.; 1000. ];
+  (* boundary values *)
+  check_close "R(0) = 1" 1. (Measures.reliability m1 ~time:0.);
+  Alcotest.(check bool) "R decreases to near 0 by 1000h" true
+    (Measures.reliability m1 ~time:1000. < 0.1)
+
+let test_fig3_monotone () =
+  let m = Measures.analyze (Facility.reliability_model Facility.Line2) in
+  let curve = Measures.reliability_curve m ~times:[ 0.; 100.; 400.; 700.; 1000. ] in
+  let rec decreasing = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b -. 1e-12 && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone decreasing" true (decreasing curve)
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 4-5: survivability, Line 1, Disaster 1 *)
+
+let d1 = Facility.disaster1 Facility.Line1
+
+let test_fig45_ordering () =
+  let surv config level t =
+    Measures.survivability
+      (analyze ~disaster:d1 Facility.Line1 config)
+      ~service_level:level ~time:t
+  in
+  List.iter
+    (fun level ->
+      List.iter
+        (fun t ->
+          let ded = surv Facility.ded level t in
+          let frf1 = surv (Facility.frf 1) level t in
+          let frf2 = surv (Facility.frf 2) level t in
+          (* paper: DED fastest, extra crew helps *)
+          Alcotest.(check bool) "ded >= frf2" true (ded >= frf2 -. 1e-9);
+          Alcotest.(check bool) "frf2 >= frf1" true (frf2 >= frf1 -. 1e-9))
+        [ 0.5; 1.5; 3.; 4.5 ])
+    [ 1. /. 3.; 2. /. 3. ]
+
+let test_fig45_x2_slower_than_x1 () =
+  (* recovering more service takes longer *)
+  let m = analyze ~disaster:d1 Facility.Line1 (Facility.frf 1) in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "X2 <= X1" true
+        (Measures.survivability m ~service_level:(2. /. 3.) ~time:t
+         <= Measures.survivability m ~service_level:(1. /. 3.) ~time:t +. 1e-12))
+    [ 1.; 2.; 4. ]
+
+let test_d1_one_crew_strategies_equal () =
+  (* paper: for Disaster 1 all 1-crew strategies coincide (only pumps are
+     failed, so the initial repair order is the same). The strategies can
+     differ microscopically through secondary failures during the recovery,
+     so match to 1e-5 — far below plot resolution. *)
+  let frf = analyze ~disaster:d1 Facility.Line1 (Facility.frf 1) in
+  let fff = Facility.analyze_after_disaster Facility.Line1 (Facility.fff 1) ~failed:d1 in
+  List.iter
+    (fun t ->
+      check_close ~eps:1e-5 (Printf.sprintf "t=%g" t)
+        (Measures.survivability frf ~service_level:(1. /. 3.) ~time:t)
+        (Measures.survivability fff ~service_level:(1. /. 3.) ~time:t))
+    [ 0.5; 2.; 4.5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 6-7: costs, Line 1, Disaster 1 *)
+
+let test_fig6_initial_cost () =
+  (* at t=0: 4 failed pumps cost 12; DED has 7 idle crews (of 11) -> 19;
+     FRF-1 has 0 idle (1 crew busy) -> 12; FRF-2 -> 12 *)
+  let inst config =
+    Measures.instantaneous_cost (analyze ~disaster:d1 Facility.Line1 config) ~time:0.
+  in
+  check_close ~eps:1e-6 "ded t=0" 19. (inst Facility.ded);
+  check_close ~eps:1e-6 "frf-1 t=0" 12. (inst (Facility.frf 1));
+  check_close ~eps:1e-6 "frf-2 t=0" 12. (inst (Facility.frf 2))
+
+let test_fig6_convergence_to_steady () =
+  (* instantaneous cost converges to the normal-operation level; DED's
+     normal level (11 idle crews) is the highest *)
+  let inst config t =
+    Measures.instantaneous_cost (analyze ~disaster:d1 Facility.Line1 config) ~time:t
+  in
+  let ded = inst Facility.ded 2000. in
+  let frf1 = inst (Facility.frf 1) 2000. in
+  let frf2 = inst (Facility.frf 2) 2000. in
+  Alcotest.(check bool) "ded converges near 11+" true (ded > 10.5 && ded < 13.);
+  Alcotest.(check bool) "frf1 lowest" true (frf1 < frf2 && frf2 < ded)
+
+let test_fig7_accumulated_ordering () =
+  (* paper: DED accumulates the highest cost; FRF-2 stays below FRF-1 *)
+  let acc config =
+    Measures.accumulated_cost (analyze ~disaster:d1 Facility.Line1 config) ~time:10.
+  in
+  let ded = acc Facility.ded and frf1 = acc (Facility.frf 1) and frf2 = acc (Facility.frf 2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ded (%.1f) > frf1 (%.1f) > frf2 (%.1f)" ded frf1 frf2)
+    true
+    (ded > frf1 && frf1 > frf2)
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 8-9: survivability, Line 2, Disaster 2 *)
+
+let d2 = Facility.disaster2
+
+let test_fig8_fff1_slowest () =
+  (* paper: FFF-1 clearly provides the slowest recovery to X1 because the
+     reservoir is repaired last *)
+  let surv config t =
+    Measures.survivability
+      (Facility.analyze_after_disaster Facility.Line2 config ~failed:d2)
+      ~service_level:(1. /. 3.) ~time:t
+  in
+  List.iter
+    (fun t ->
+      let fff1 = surv (Facility.fff 1) t in
+      List.iter
+        (fun other ->
+          Alcotest.(check bool)
+            (Printf.sprintf "fff-1 slowest at %g" t)
+            true
+            (surv other t >= fff1 -. 1e-9))
+        [ Facility.ded; Facility.fff 2; Facility.frf 1; Facility.frf 2 ])
+    [ 20.; 50.; 100. ];
+  (* and DED is fastest *)
+  List.iter
+    (fun t ->
+      let ded = surv Facility.ded t in
+      List.iter
+        (fun other -> Alcotest.(check bool) "ded fastest" true (ded >= surv other t -. 1e-9))
+        [ Facility.fff 1; Facility.fff 2; Facility.frf 1; Facility.frf 2 ])
+    [ 20.; 50. ]
+
+let test_fig9_x3_llevels () =
+  (* X3 requires both sand filters, all-but-one softeners, the reservoir:
+     recovery to X3 is much slower than to X1 for every strategy *)
+  List.iter
+    (fun config ->
+      let m = Facility.analyze_after_disaster Facility.Line2 config ~failed:d2 in
+      Alcotest.(check bool)
+        (Facility.config_name config)
+        true
+        (Measures.survivability m ~service_level:(2. /. 3.) ~time:50.
+         < Measures.survivability m ~service_level:(1. /. 3.) ~time:50.))
+    [ Facility.ded; Facility.fff 1; Facility.frf 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 10-11: costs, Line 2, Disaster 2 *)
+
+let test_fig10_initial_cost () =
+  (* 5 failed components at t=0 -> 15 + idle crews (0 for 1-2 crews) *)
+  List.iter
+    (fun config ->
+      check_close ~eps:1e-6
+        (Facility.config_name config)
+        15.
+        (Measures.instantaneous_cost
+           (Facility.analyze_after_disaster Facility.Line2 config ~failed:d2)
+           ~time:0.))
+    [ Facility.fff 1; Facility.fff 2; Facility.frf 1; Facility.frf 2 ]
+
+let test_fig11_fff1_most_expensive () =
+  (* paper: FFF-1's slow instantaneous-cost convergence makes its
+     accumulated cost the highest *)
+  let acc config =
+    Measures.accumulated_cost
+      (Facility.analyze_after_disaster Facility.Line2 config ~failed:d2)
+      ~time:50.
+  in
+  let fff1 = acc (Facility.fff 1) in
+  List.iter
+    (fun other ->
+      Alcotest.(check bool) "fff-1 most expensive" true (fff1 > acc other))
+    [ Facility.fff 2; Facility.frf 1; Facility.frf 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation: simulation agrees with the numerical engine *)
+
+let test_simulation_cross_check () =
+  (* the simulated fraction of fully-operational time over [0, T] from the
+     all-up state is transient-biased for small T, so compare it against the
+     exact expected time-average (accumulated indicator reward divided by
+     T), which the numerical engine computes for the same horizon *)
+  let m = analyze Facility.Line2 Facility.ded in
+  let chain = chain_of m in
+  let built = Measures.built m in
+  let horizon = 500. in
+  let full = Semantics.service_at_least built 1. in
+  let rng = Numeric.Rng.create 7L in
+  let est =
+    Ctmc.Simulate.estimate chain rng ~runs:4000 ~horizon ~f:(fun path ->
+        Ctmc.Simulate.time_in path ~horizon ~pred:full /. horizon)
+  in
+  let indicator =
+    Array.init (Chain.states chain) (fun s -> if full s then 1. else 0.)
+  in
+  let exact = Ctmc.Rewards.accumulated chain ~reward:indicator ~upto:horizon /. horizon in
+  Alcotest.(check bool)
+    (Printf.sprintf "simulated time-average %.4f vs exact %.4f (se %.4f)"
+       est.Ctmc.Simulate.mean exact est.Ctmc.Simulate.std_error)
+    true
+    (Float.abs (est.Ctmc.Simulate.mean -. exact)
+     < (6. *. est.Ctmc.Simulate.std_error) +. 0.001)
+
+(* Lumping ablation: the Line 2 dedicated chain lumps by component-kind
+   symmetry while preserving the availability measure. *)
+let test_lumping_reduces_line2 () =
+  let m = analyze Facility.Line2 Facility.ded in
+  let built = Measures.built m in
+  let chain = chain_of m in
+  let n = Chain.states chain in
+  (* initial partition: states with the same (st count, sf count, res, pump
+     count, full-service flag) are candidates for merging *)
+  let key s =
+    let st = built.Semantics.states.(s) in
+    let count lo hi =
+      let acc = ref 0 in
+      for i = lo to hi do
+        if st.Semantics.up.(i) then incr acc
+      done;
+      !acc
+    in
+    (* component order: st1..3 sf1..2 res pump1..3 *)
+    Printf.sprintf "%d/%d/%b/%d" (count 0 2) (count 3 4) st.Semantics.up.(5) (count 6 8)
+  in
+  let initial = Ctmc.Lumping.partition_by_key n key in
+  let r = Ctmc.Lumping.lump chain ~initial in
+  Alcotest.(check bool)
+    (Printf.sprintf "lumped %d -> %d" n (Chain.states r.Ctmc.Lumping.quotient))
+    true
+    (Chain.states r.Ctmc.Lumping.quotient < n / 3);
+  (* availability preserved *)
+  let full = Semantics.service_at_least built 1. in
+  let full_blocks =
+    Array.init (Chain.states r.Ctmc.Lumping.quotient) (fun b ->
+        match r.Ctmc.Lumping.blocks.(b) with
+        | s :: _ -> full s
+        | [] -> false)
+  in
+  let avail_lumped =
+    Ctmc.Steady_state.long_run_probability r.Ctmc.Lumping.quotient ~pred:(fun b ->
+        full_blocks.(b))
+  in
+  check_close ~eps:1e-8 "availability preserved" (Measures.availability m) avail_lumped
+
+(* ------------------------------------------------------------------ *)
+(* Experiment plumbing: ids, rendering, CSV *)
+
+let test_experiment_ids_complete () =
+  Alcotest.(check (list string)) "paper artifacts"
+    [ "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
+      "fig10"; "fig11" ]
+    Experiments.ids;
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " resolvable") true (Experiments.by_id id <> None))
+    Experiments.ids;
+  Alcotest.(check bool) "unknown id" true (Experiments.by_id "fig99" = None)
+
+let test_figure_rendering () =
+  let fig = Experiments.fig3 ~points:3 () in
+  Alcotest.(check int) "two series" 2 (List.length fig.Experiments.series);
+  List.iter
+    (fun s -> Alcotest.(check int) "three points" 3 (List.length s.Experiments.points))
+    fig.Experiments.series;
+  (* CSV: header + 3 rows; one time column + 2 series columns *)
+  let csv = Experiments.figure_to_csv fig in
+  let lines = String.split_on_char '
+' (String.trim csv) in
+  Alcotest.(check int) "csv rows" 4 (List.length lines);
+  let header = List.hd lines in
+  Alcotest.(check int) "csv columns" 3
+    (List.length (String.split_on_char ',' header));
+  (* gnuplot rendering mentions every series label *)
+  let text = Format.asprintf "%a" Experiments.render_figure fig in
+  List.iter
+    (fun s ->
+      let found =
+        let n = String.length text and m = String.length s.Experiments.label in
+        let rec go i = i + m <= n && (String.sub text i m = s.Experiments.label || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("series " ^ s.Experiments.label) true found)
+    fig.Experiments.series
+
+let test_table_rendering () =
+  let table =
+    { Experiments.table_id = "t"; title = "T"; header = [ "a"; "bb" ];
+      rows = [ [ "1"; "2" ]; [ "333"; "4" ] ] }
+  in
+  let text = Format.asprintf "%a" Experiments.render_table table in
+  let lines = String.split_on_char '
+' (String.trim text) in
+  (* title + header + separator + 2 rows *)
+  Alcotest.(check int) "line count" 5 (List.length lines)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (extensions beyond the paper) *)
+
+let test_ablation_crew_sweep () =
+  let table = Ablations.crew_sweep ~max_crews:2 Facility.Line2 in
+  (* 2 crews x 2 strategies + DED *)
+  Alcotest.(check int) "rows" 5 (List.length table.Experiments.rows);
+  (* availability column is monotone in crews for each strategy *)
+  let avail row = float_of_string (List.nth row 2) in
+  let rows = Array.of_list table.Experiments.rows in
+  Alcotest.(check bool) "frf monotone" true (avail rows.(1) >= avail rows.(0));
+  Alcotest.(check bool) "fff monotone" true (avail rows.(3) >= avail rows.(2));
+  (* DED availability matches the paper *)
+  check_close ~eps:5e-7 "ded row" 0.8186317 (avail rows.(4))
+
+let test_ablation_strategy_matrix () =
+  let table = Ablations.strategy_matrix Facility.Line2 in
+  Alcotest.(check int) "rows" 9 (List.length table.Experiments.rows);
+  let find label =
+    List.find (fun row -> List.hd row = label) table.Experiments.rows
+  in
+  let avail row = float_of_string (List.nth row 3) in
+  (* preemptive FRF-1 has a smaller state space than non-preemptive *)
+  let states row = int_of_string (List.nth row 1) in
+  Alcotest.(check bool) "preemption shrinks" true
+    (states (find "FRF-1p") < states (find "FRF-1"));
+  (* and availability stays in the same ballpark *)
+  Alcotest.(check bool) "availability close" true
+    (Float.abs (avail (find "FRF-1p") -. avail (find "FRF-1")) < 0.002)
+
+let test_ablation_lumping_table () =
+  let table = Ablations.lumping_table () in
+  List.iter
+    (fun row ->
+      let full = List.nth row 4 and lumped = List.nth row 5 in
+      Alcotest.(check string) "availability preserved" full lumped;
+      Alcotest.(check bool) "reduced" true
+        (int_of_string (List.nth row 2) < int_of_string (List.nth row 1)))
+    table.Experiments.rows
+
+let test_ablation_erlang_repair () =
+  let table = Ablations.erlang_repair_table ~levels:[ 1; 3 ] () in
+  Alcotest.(check int) "rows" 2 (List.length table.Experiments.rows);
+  let rows = Array.of_list table.Experiments.rows in
+  let col i row = float_of_string (List.nth row i) in
+  (* early recovery is less likely with low-variance repairs *)
+  Alcotest.(check bool) "P(full<=1h) drops" true (col 3 rows.(1) < col 3 rows.(0));
+  (* availability moves only marginally (queueing effect) *)
+  Alcotest.(check bool) "availability close" true
+    (Float.abs (col 2 rows.(1) -. col 2 rows.(0)) < 1e-3)
+
+let test_ablation_importance () =
+  let table = Ablations.importance_table Facility.Line2 in
+  (* the reservoir must rank first by Birnbaum importance *)
+  match table.Experiments.rows with
+  | first :: _ -> Alcotest.(check string) "res first" "res" (List.hd first)
+  | [] -> Alcotest.fail "empty table"
+
+let () =
+  Alcotest.run "watertreatment"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "component rates" `Quick test_component_rates;
+          Alcotest.test_case "line shapes" `Quick test_line_shapes;
+          Alcotest.test_case "service intervals" `Quick test_service_intervals;
+        ] );
+      ( "table1",
+        [
+          Alcotest.test_case "dedicated counts exact" `Quick test_table1_dedicated_counts;
+          Alcotest.test_case "single-crew counts match paper" `Slow
+            test_table1_single_crew_counts_match_paper;
+          Alcotest.test_case "frf/fff same size" `Quick test_table1_frf_fff_same_size;
+        ] );
+      ( "table2",
+        [
+          Alcotest.test_case "dedicated rows exact" `Quick test_table2_dedicated_exact;
+          Alcotest.test_case "queue strategies close" `Slow
+            test_table2_queue_strategies_close;
+          Alcotest.test_case "qualitative ordering" `Slow test_table2_ordering;
+        ] );
+      ( "fig3",
+        [
+          Alcotest.test_case "line 2 more reliable" `Quick test_fig3_line2_more_reliable;
+          Alcotest.test_case "monotone decreasing" `Quick test_fig3_monotone;
+        ] );
+      ( "fig4-5",
+        [
+          Alcotest.test_case "strategy ordering" `Slow test_fig45_ordering;
+          Alcotest.test_case "X2 slower than X1" `Slow test_fig45_x2_slower_than_x1;
+          Alcotest.test_case "1-crew strategies coincide" `Slow
+            test_d1_one_crew_strategies_equal;
+        ] );
+      ( "fig6-7",
+        [
+          Alcotest.test_case "initial instantaneous cost" `Slow test_fig6_initial_cost;
+          Alcotest.test_case "convergence to steady cost" `Slow
+            test_fig6_convergence_to_steady;
+          Alcotest.test_case "accumulated ordering" `Slow test_fig7_accumulated_ordering;
+        ] );
+      ( "fig8-9",
+        [
+          Alcotest.test_case "fff-1 slowest, ded fastest" `Slow test_fig8_fff1_slowest;
+          Alcotest.test_case "higher level slower" `Slow test_fig9_x3_llevels;
+        ] );
+      ( "fig10-11",
+        [
+          Alcotest.test_case "initial cost" `Slow test_fig10_initial_cost;
+          Alcotest.test_case "fff-1 most expensive" `Slow test_fig11_fff1_most_expensive;
+        ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "simulation agrees" `Slow test_simulation_cross_check;
+          Alcotest.test_case "lumping preserves availability" `Slow
+            test_lumping_reduces_line2;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "experiment ids" `Quick test_experiment_ids_complete;
+          Alcotest.test_case "figure rendering" `Quick test_figure_rendering;
+          Alcotest.test_case "table rendering" `Quick test_table_rendering;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "crew sweep" `Slow test_ablation_crew_sweep;
+          Alcotest.test_case "strategy matrix" `Slow test_ablation_strategy_matrix;
+          Alcotest.test_case "lumping table" `Slow test_ablation_lumping_table;
+          Alcotest.test_case "erlang repair" `Slow test_ablation_erlang_repair;
+          Alcotest.test_case "importance table" `Slow test_ablation_importance;
+        ] );
+    ]
