@@ -7,10 +7,15 @@
    Part 2 registers one Bechamel micro-benchmark per artifact — the analysis
    kernel that regenerates it, run at Line-2 scale so OLS gets enough
    samples — plus ablation benches for the design choices DESIGN.md calls
-   out (lumping, the PRISM translation path, simulation).
+   out (lumping, the PRISM translation path, simulation) and an
+   engine pair contrasting a fresh chain per query against a shared
+   Ctmc.Analysis session (the cached path all measures now run through).
 
    Environment knobs: BENCH_POINTS (curve samples in part 1, default 15),
-   BENCH_SKIP_ARTIFACTS=1 (skip part 1), BENCH_SKIP_MICRO=1 (skip part 2). *)
+   BENCH_SKIP_ARTIFACTS=1 (skip part 1), BENCH_SKIP_ABLATIONS=1,
+   BENCH_SKIP_MICRO=1 (skip part 2), BENCH_JSON=<path> (dump the
+   per-artifact timings and micro-benchmark estimates as JSON — the
+   BENCH_*.json perf trajectory). *)
 
 open Bechamel
 open Toolkit
@@ -31,7 +36,7 @@ let print_artifacts () =
   Format.printf " Reproduction of the paper's tables and figures@.";
   Format.printf " (curves sampled at %d points; BENCH_POINTS overrides)@." points;
   Format.printf "==========================================================@.@.";
-  List.iter
+  List.map
     (fun id ->
       let gen =
         match Watertreatment.Experiments.by_id id with
@@ -42,8 +47,28 @@ let print_artifacts () =
       let artifact = gen ~points () in
       let dt = Unix.gettimeofday () -. t0 in
       Watertreatment.Experiments.render_artifact Format.std_formatter artifact;
-      Format.printf "  [%s generated in %.2f s]@.@." id dt)
+      Format.printf "  [%s generated in %.2f s]@.@." id dt;
+      (id, dt))
     Watertreatment.Experiments.ids
+
+let print_ablations () =
+  Format.printf "==========================================================@.";
+  Format.printf " Ablation studies (beyond the paper)@.";
+  Format.printf "==========================================================@.@.";
+  List.map
+    (fun id ->
+      let gen =
+        match Watertreatment.Ablations.by_id id with
+        | Some gen -> gen
+        | None -> assert false
+      in
+      let t0 = Unix.gettimeofday () in
+      let artifact = gen () in
+      let dt = Unix.gettimeofday () -. t0 in
+      Watertreatment.Experiments.render_artifact Format.std_formatter artifact;
+      Format.printf "  [%s generated in %.2f s]@.@." id dt;
+      (id, dt))
+    Watertreatment.Ablations.ids
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks *)
@@ -136,6 +161,28 @@ let test_fig11 =
     (Staged.stage (fun () ->
          Core.Measures.accumulated_cost (Lazy.force good_line2_frf1) ~time:50.))
 
+(* Engine: the cost of one transient query without and with the shared
+   analysis session. The fresh path rebuilds the uniformized matrix and
+   Fox-Glynn weights per call (the pre-engine behaviour); the cached path
+   is what every measure above now does. *)
+
+let test_engine_transient_fresh =
+  Test.make ~name:"engine/transient query, fresh chain (line2 frf-1, t=100)"
+    (Staged.stage (fun () ->
+         let m = Lazy.force measures_line2_frf1 in
+         let chain = (Core.Measures.built m).Core.Semantics.chain in
+         Ctmc.Transient.probability_at chain ~pred:(fun _ -> true) 100.))
+
+let test_engine_transient_cached =
+  Test.make ~name:"engine/transient query, cached session (line2 frf-1, t=100)"
+    (Staged.stage (fun () ->
+         let m = Lazy.force measures_line2_frf1 in
+         let chain = (Core.Measures.built m).Core.Semantics.chain in
+         Ctmc.Transient.probability_at ~analysis:(Core.Measures.analysis m)
+           chain
+           ~pred:(fun _ -> true)
+           100.))
+
 (* Ablations *)
 
 let test_ablation_prism_path =
@@ -185,6 +232,7 @@ let all_tests =
   [
     test_table1; test_table2; test_fig3; test_fig4; test_fig5; test_fig6;
     test_fig7; test_fig8; test_fig9; test_fig10; test_fig11;
+    test_engine_transient_fresh; test_engine_transient_cached;
     test_ablation_prism_path; test_ablation_lumping; test_ablation_simulation;
     test_ablation_uniformization;
   ]
@@ -204,7 +252,7 @@ let run_micro () =
   let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   Format.printf "  %-58s %12s@." "benchmark" "time/run";
-  List.iter
+  List.filter_map
     (fun (name, result) ->
       match Analyze.OLS.estimates result with
       | Some (est :: _) ->
@@ -214,29 +262,66 @@ let run_micro () =
             else if est > 1e3 then Printf.sprintf "%8.3f us" (est /. 1e3)
             else Printf.sprintf "%8.0f ns" est
           in
-          Format.printf "  %-58s %12s@." name human
-      | Some [] | None -> Format.printf "  %-58s %12s@." name "n/a")
+          Format.printf "  %-58s %12s@." name human;
+          Some (name, est)
+      | Some [] | None ->
+          Format.printf "  %-58s %12s@." name "n/a";
+          None)
     rows
 
-let print_ablations () =
-  Format.printf "==========================================================@.";
-  Format.printf " Ablation studies (beyond the paper)@.";
-  Format.printf "==========================================================@.@.";
-  List.iter
-    (fun id ->
-      let gen =
-        match Watertreatment.Ablations.by_id id with
-        | Some gen -> gen
-        | None -> assert false
-      in
-      let t0 = Unix.gettimeofday () in
-      let artifact = gen () in
-      let dt = Unix.gettimeofday () -. t0 in
-      Watertreatment.Experiments.render_artifact Format.std_formatter artifact;
-      Format.printf "  [%s generated in %.2f s]@.@." id dt)
-    Watertreatment.Ablations.ids
+(* ------------------------------------------------------------------ *)
+(* BENCH_JSON: machine-readable timings (the BENCH_*.json trajectory) *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_timings buf key field entries =
+  Buffer.add_string buf (Printf.sprintf "  %S: [\n" key);
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"%s\": \"%s\", \"%s\": %.6f}%s\n" "id"
+           (json_escape name) field v
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  ]"
+
+let write_json path ~artifacts ~ablations ~micro =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"bench_points\": %d,\n" (getenv_int "BENCH_POINTS" 15));
+  json_timings buf "artifacts" "seconds" artifacts;
+  Buffer.add_string buf ",\n";
+  json_timings buf "ablations" "seconds" ablations;
+  Buffer.add_string buf ",\n";
+  json_timings buf "micro" "ns_per_run" micro;
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Format.printf "wrote timings to %s@." path
 
 let () =
-  if not (skip "BENCH_SKIP_ARTIFACTS") then print_artifacts ();
-  if not (skip "BENCH_SKIP_ABLATIONS") then print_ablations ();
-  if not (skip "BENCH_SKIP_MICRO") then run_micro ()
+  let artifacts =
+    if skip "BENCH_SKIP_ARTIFACTS" then [] else print_artifacts ()
+  in
+  let ablations =
+    if skip "BENCH_SKIP_ABLATIONS" then [] else print_ablations ()
+  in
+  let micro = if skip "BENCH_SKIP_MICRO" then [] else run_micro () in
+  match Sys.getenv_opt "BENCH_JSON" with
+  | Some path -> write_json path ~artifacts ~ablations ~micro
+  | None -> ()

@@ -21,7 +21,7 @@ let () =
       Format.printf "mean time to total loss:      %.1f h@.@."
         (Core.Measures.mean_time_to_service_loss m);
       Core.Importance.pp_table Format.std_formatter
-        (Core.Importance.analyze (Core.Measures.built m));
+        (Core.Importance.analyze ~analysis:(Core.Measures.analysis m) (Core.Measures.built m));
       Format.printf "@.")
     [ Facility.Line1; Facility.Line2 ];
   Format.printf

@@ -38,9 +38,9 @@ let system_unavailability model ~q =
   done;
   !total
 
-let marginal_unavailabilities built =
+let marginal_unavailabilities ?analysis built =
   let chain = built.Semantics.chain in
-  let pi = Ctmc.Steady_state.solve chain in
+  let pi = Ctmc.Steady_state.solve ?analysis chain in
   let basics =
     Fault_tree.basics built.Semantics.model.Model.fault_tree
   in
@@ -84,8 +84,8 @@ let of_unavailabilities model ~q =
       end)
     q
 
-let analyze built =
-  let q = marginal_unavailabilities built in
+let analyze ?analysis built =
+  let q = marginal_unavailabilities ?analysis built in
   let indices = of_unavailabilities built.Semantics.model ~q in
   List.sort (fun a b -> compare b.birnbaum a.birnbaum) indices
 

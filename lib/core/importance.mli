@@ -33,7 +33,8 @@ val system_unavailability : Model.t -> q:(string -> float) -> float
     independently with probability [q c]. Exact enumeration over the basic
     events (fault trees with at most ~20 basics). *)
 
-val marginal_unavailabilities : Semantics.built -> (string * float) list
+val marginal_unavailabilities :
+  ?analysis:Ctmc.Analysis.t -> Semantics.built -> (string * float) list
 (** Per-basic-event steady-state unavailability from the built chain
     (marginals of the joint steady-state distribution); keys are the fault
     tree's basic events (component names or ["c:mode"] references). *)
@@ -41,7 +42,7 @@ val marginal_unavailabilities : Semantics.built -> (string * float) list
 val of_unavailabilities : Model.t -> q:(string * float) list -> t list
 (** All indices for every component, given the marginals. *)
 
-val analyze : Semantics.built -> t list
+val analyze : ?analysis:Ctmc.Analysis.t -> Semantics.built -> t list
 (** {!marginal_unavailabilities} composed with {!of_unavailabilities},
     sorted by decreasing Birnbaum importance. *)
 

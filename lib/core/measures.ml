@@ -2,6 +2,7 @@ module Chain = Ctmc.Chain
 
 type t = {
   built : Semantics.built;
+  analysis : Ctmc.Analysis.t;
   csl : Csl.Checker.model;
 }
 
@@ -12,7 +13,7 @@ let level_label_name levels x =
   in
   Printf.sprintf "sl_ge_%d" (position 0 levels)
 
-let make_csl_model built =
+let make_csl_model ~analysis built =
   let levels = Model.service_levels built.Semantics.model in
   let model = built.Semantics.model in
   let component_labels =
@@ -47,11 +48,17 @@ let make_csl_model built =
       (Some "repair_cost", Semantics.repair_cost_structure built);
     ]
   in
-  Csl.Checker.of_chain ~labels ~rewards built.Semantics.chain
+  Csl.Checker.of_chain ~analysis ~labels ~rewards built.Semantics.chain
+
+let wrap built =
+  (* one session per state space: every measure below, and every CSL query
+     through {!to_csl_model}, shares its cached uniformized matrix,
+     Fox-Glynn weights, absorbed chains and steady-state vector *)
+  let analysis = Ctmc.Analysis.create built.Semantics.chain in
+  { built; analysis; csl = make_csl_model ~analysis built }
 
 let analyze ?max_states ?initial model =
-  let built = Semantics.build ?max_states ?initial model in
-  { built; csl = make_csl_model built }
+  wrap (Semantics.build ?max_states ?initial model)
 
 let analyze_mixed_disasters ?max_states model disasters =
   if disasters = [] then invalid_arg "Measures.analyze_mixed_disasters: empty mixture";
@@ -73,12 +80,14 @@ let analyze_mixed_disasters ?max_states model disasters =
       | Some s -> init.(s) <- init.(s) +. (w /. total)
       | None ->
           invalid_arg
-            "Measures.analyze_mixed_disasters: disaster state unreachable from the              heaviest disaster")
+            "Measures.analyze_mixed_disasters: disaster state unreachable \
+             from the heaviest disaster")
     states;
-  let built = { built with Semantics.chain = Ctmc.Chain.with_init chain init } in
-  { built; csl = make_csl_model built }
+  wrap { built with Semantics.chain = Ctmc.Chain.with_init chain init }
 
 let built t = t.built
+
+let analysis t = t.analysis
 
 let to_csl_model t = t.csl
 
@@ -103,7 +112,7 @@ let not_fully_operational t =
   fun s -> not (full s)
 
 let unreliability t ~time =
-  Ctmc.Reachability.bounded_until_from_init (chain t)
+  Ctmc.Reachability.bounded_until_from_init ~analysis:t.analysis (chain t)
     ~phi:(fun _ -> true)
     ~psi:(not_fully_operational t) ~bound:time
 
@@ -111,39 +120,41 @@ let reliability t ~time = 1. -. unreliability t ~time
 
 let reliability_curve t ~times =
   let points =
-    Ctmc.Reachability.bounded_until_curve (chain t)
+    Ctmc.Reachability.bounded_until_curve ~analysis:t.analysis (chain t)
       ~phi:(fun _ -> true)
       ~psi:(not_fully_operational t) ~bounds:times
   in
   List.map (fun (time, p) -> (time, 1. -. p)) points
 
 let availability t =
-  Ctmc.Steady_state.long_run_probability (chain t)
+  Ctmc.Steady_state.long_run_probability ~analysis:t.analysis (chain t)
     ~pred:(Semantics.service_at_least t.built 1.)
 
 let any_service_availability t =
-  Ctmc.Steady_state.long_run_probability (chain t)
+  Ctmc.Steady_state.long_run_probability ~analysis:t.analysis (chain t)
     ~pred:(Semantics.operational_pred t.built)
 
 let instantaneous_availability t ~time =
-  Ctmc.Transient.probability_at (chain t)
+  Ctmc.Transient.probability_at ~analysis:t.analysis (chain t)
     ~pred:(Semantics.service_at_least t.built 1.)
     time
 
 let mean_time_to_degradation t =
-  Ctmc.Absorption.mean_time_from_init (chain t) ~psi:(not_fully_operational t)
+  Ctmc.Absorption.mean_time_from_init ~analysis:t.analysis (chain t)
+    ~psi:(not_fully_operational t)
 
 let mean_time_to_service_loss t =
-  Ctmc.Absorption.mean_time_from_init (chain t) ~psi:(Semantics.down_pred t.built)
+  Ctmc.Absorption.mean_time_from_init ~analysis:t.analysis (chain t)
+    ~psi:(Semantics.down_pred t.built)
 
 let survivability t ~service_level ~time =
-  Ctmc.Reachability.bounded_until_from_init (chain t)
+  Ctmc.Reachability.bounded_until_from_init ~analysis:t.analysis (chain t)
     ~phi:(fun _ -> true)
     ~psi:(Semantics.service_at_least t.built service_level)
     ~bound:time
 
 let survivability_curve t ~service_level ~times =
-  Ctmc.Reachability.bounded_until_curve (chain t)
+  Ctmc.Reachability.bounded_until_curve ~analysis:t.analysis (chain t)
     ~phi:(fun _ -> true)
     ~psi:(Semantics.service_at_least t.built service_level)
     ~bounds:times
@@ -183,27 +194,28 @@ let most_likely_degradation_scenario t = describe_scenario t (not_fully_operatio
 let most_likely_loss_scenario t = describe_scenario t (Semantics.down_pred t.built)
 
 let instantaneous_cost t ~time =
-  Ctmc.Rewards.instantaneous (chain t)
+  Ctmc.Rewards.instantaneous ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
     ~at:time
 
 let accumulated_cost t ~time =
-  Ctmc.Rewards.accumulated (chain t)
+  Ctmc.Rewards.accumulated ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
     ~upto:time
 
 let instantaneous_cost_curve t ~times =
-  Ctmc.Rewards.instantaneous_curve (chain t)
+  Ctmc.Rewards.instantaneous_curve ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
     ~times
 
 let accumulated_cost_curve t ~times =
-  Ctmc.Rewards.accumulated_curve (chain t)
+  Ctmc.Rewards.accumulated_curve ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
     ~times
 
 let steady_state_cost t =
-  Ctmc.Rewards.steady_state (chain t) ~reward:(Semantics.cost_structure t.built)
+  Ctmc.Rewards.steady_state ~analysis:t.analysis (chain t)
+    ~reward:(Semantics.cost_structure t.built)
 
 let combined_availability avails =
   1. -. List.fold_left (fun acc a -> acc *. (1. -. a)) 1. avails

@@ -8,11 +8,16 @@
 
 type t = {
   built : Semantics.built;
+  analysis : Ctmc.Analysis.t;
+      (** the analysis session shared by every measure (and by the CSL
+          model): uniformized matrix, Fox–Glynn weights, absorbed chains
+          and the steady-state vector are each computed at most once *)
   csl : Csl.Checker.model;
 }
 
 val analyze : ?max_states:int -> ?initial:Semantics.state -> Model.t -> t
-(** Build the state space once; all measures below reuse it. *)
+(** Build the state space — and one cached {!Ctmc.Analysis} session over
+    it — once; all measures below reuse both. *)
 
 val analyze_mixed_disasters :
   ?max_states:int -> Model.t -> (float * string list) list -> t
@@ -24,6 +29,11 @@ val analyze_mixed_disasters :
     or non-positive total weight. *)
 
 val built : t -> Semantics.built
+
+val analysis : t -> Ctmc.Analysis.t
+(** The underlying analysis session — e.g. to inspect cache-hit statistics
+    ({!Ctmc.Analysis.stats}) or to run raw [Ctmc] queries that share this
+    model's caches. *)
 
 val to_csl_model : t -> Csl.Checker.model
 (** A CSL model with labels ["down"], ["operational"], ["full_service"],

@@ -4,6 +4,7 @@ module Chain = Ctmc.Chain
 
 type model = {
   chain : Chain.t;
+  analysis : Ctmc.Analysis.t;
   label : string -> (int -> bool) option;
   atomic : Prism.Ast.expr -> (int -> bool) option;
   reward : string option -> Numeric.Vec.t option;
@@ -18,9 +19,15 @@ let () =
 
 let unsupported fmt = Printf.ksprintf (fun msg -> raise (Unsupported msg)) fmt
 
-let of_built built =
+let session analysis chain =
+  match analysis with
+  | Some a when Ctmc.Analysis.wraps a chain -> a
+  | Some _ | None -> Ctmc.Analysis.create chain
+
+let of_built ?analysis built =
   {
     chain = built.Prism.Builder.chain;
+    analysis = session analysis built.Prism.Builder.chain;
     label =
       (fun name ->
         if List.mem_assoc name built.Prism.Builder.labels then
@@ -32,9 +39,10 @@ let of_built built =
         List.assoc_opt name built.Prism.Builder.reward_structures);
   }
 
-let of_chain ?(labels = []) ?(rewards = []) chain =
+let of_chain ?analysis ?(labels = []) ?(rewards = []) chain =
   {
     chain;
+    analysis = session analysis chain;
     label = (fun name -> List.assoc_opt name labels);
     atomic = (fun _ -> None);
     reward = (fun name -> List.assoc_opt name rewards);
@@ -59,7 +67,7 @@ let rec path_probabilities model path =
       (* P(X phi within [a,b]) = P(first jump in the interval) * P(jump
          lands in phi): the jump time and target are independent *)
       let sat = satisfaction model f in
-      let emb = Chain.embedded model.chain in
+      let emb = Ctmc.Analysis.embedded model.analysis in
       let exits = Chain.exit_rates model.chain in
       let timing s =
         let e = exits.(s) in
@@ -86,10 +94,15 @@ let rec path_probabilities model path =
       let phi s = sat1.(s) in
       let psi s = sat2.(s) in
       match i with
-      | Ast.Unbounded -> Ctmc.Reachability.unbounded_until model.chain ~phi ~psi
-      | Ast.Upto t -> Ctmc.Reachability.bounded_until model.chain ~phi ~psi ~bound:t
+      | Ast.Unbounded ->
+          Ctmc.Reachability.unbounded_until ~analysis:model.analysis model.chain
+            ~phi ~psi
+      | Ast.Upto t ->
+          Ctmc.Reachability.bounded_until ~analysis:model.analysis model.chain
+            ~phi ~psi ~bound:t
       | Ast.Within (a, b) ->
-          Ctmc.Reachability.interval_until model.chain ~phi ~psi ~lower:a ~upper:b)
+          Ctmc.Reachability.interval_until ~analysis:model.analysis model.chain
+            ~phi ~psi ~lower:a ~upper:b)
 
 and reward_value model name query =
   let reward =
@@ -100,9 +113,11 @@ and reward_value model name query =
           (match name with None -> "(unnamed)" | Some n -> Printf.sprintf "%S" n)
   in
   match query with
-  | Ast.Instantaneous t -> Ctmc.Rewards.instantaneous model.chain ~reward ~at:t
-  | Ast.Cumulative t -> Ctmc.Rewards.accumulated model.chain ~reward ~upto:t
-  | Ast.Steady -> Ctmc.Rewards.steady_state model.chain ~reward
+  | Ast.Instantaneous t ->
+      Ctmc.Rewards.instantaneous ~analysis:model.analysis model.chain ~reward ~at:t
+  | Ast.Cumulative t ->
+      Ctmc.Rewards.accumulated ~analysis:model.analysis model.chain ~reward ~upto:t
+  | Ast.Steady -> Ctmc.Rewards.steady_state ~analysis:model.analysis model.chain ~reward
 
 and satisfaction model formula =
   let n = Chain.states model.chain in
@@ -141,8 +156,9 @@ and satisfaction model formula =
          irreducible case per-state, and otherwise evaluate from each state
          by re-rooting the chain. *)
       let sat = satisfaction model f in
-      if Ctmc.Steady_state.is_irreducible model.chain then begin
-        let pi = Ctmc.Steady_state.solve model.chain in
+      if Ctmc.Steady_state.is_irreducible ~analysis:model.analysis model.chain
+      then begin
+        let pi = Ctmc.Steady_state.solve ~analysis:model.analysis model.chain in
         let total = ref 0. in
         Array.iteri (fun s mass -> if sat.(s) then total := !total +. mass) pi;
         Array.make n (compare_bound cmp p !total)
@@ -153,10 +169,14 @@ and satisfaction model formula =
             let v = Ctmc.Steady_state.long_run_probability rooted ~pred:(fun i -> sat.(i)) in
             compare_bound cmp p v)
   | Ast.R (name, Ast.Bounded (cmp, threshold), query) ->
-      (* reward bounds are evaluated from each state as initial state *)
+      (* reward bounds are evaluated from each state as initial state;
+         re-rooting changes the chain, so each state gets its own session *)
       Array.init n (fun s ->
           let rooted = Chain.with_point_init model.chain s in
-          let v = reward_value { model with chain = rooted } name query in
+          let rerooted =
+            { model with chain = rooted; analysis = Ctmc.Analysis.create rooted }
+          in
+          let v = reward_value rerooted name query in
           compare_bound cmp threshold v)
 
 let initial_states model =
@@ -172,7 +192,10 @@ let check model formula =
       Value (Vec.dot (Chain.initial model.chain) probs)
   | Ast.S (Ast.Query, f) ->
       let sat = satisfaction model f in
-      Value (Ctmc.Steady_state.long_run_probability model.chain ~pred:(fun s -> sat.(s)))
+      Value
+        (Ctmc.Steady_state.long_run_probability ~analysis:model.analysis
+           model.chain
+           ~pred:(fun s -> sat.(s)))
   | Ast.R (name, Ast.Query, query) -> Value (reward_value model name query)
   | _ ->
       let sat = satisfaction model formula in

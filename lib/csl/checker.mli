@@ -7,23 +7,31 @@
 
 type model = {
   chain : Ctmc.Chain.t;
+  analysis : Ctmc.Analysis.t;
+      (** the cached analysis session every query runs through: checking
+          several formulas against one model shares the uniformized matrix,
+          Fox–Glynn weights, absorbed chains and steady-state vector *)
   label : string -> (int -> bool) option;  (** resolve a quoted label *)
   atomic : Prism.Ast.expr -> (int -> bool) option;
       (** resolve an atomic expression over state variables *)
   reward : string option -> Numeric.Vec.t option;  (** resolve a reward structure *)
 }
 
-val of_built : Prism.Builder.built -> model
+val of_built : ?analysis:Ctmc.Analysis.t -> Prism.Builder.built -> model
 (** Wrap a built PRISM model: labels, variables and reward structures
-    resolve to what the model defines. *)
+    resolve to what the model defines. [analysis] injects an existing
+    session for the model's chain (it is used only if it wraps exactly that
+    chain); by default a fresh one is created. *)
 
 val of_chain :
+  ?analysis:Ctmc.Analysis.t ->
   ?labels:(string * (int -> bool)) list ->
   ?rewards:(string option * Numeric.Vec.t) list ->
   Ctmc.Chain.t ->
   model
 (** Wrap a bare chain with explicitly provided labels and rewards (atomic
-    expressions are not resolvable in this case). *)
+    expressions are not resolvable in this case). [analysis] as in
+    {!of_built}. *)
 
 exception Unsupported of string
 (** Raised for ill-formed checks: unknown labels, unresolvable atomics,

@@ -5,10 +5,11 @@ module Sparse = Numeric.Sparse
      t(s) = rho(s) / E(s) + sum_{s'} P_emb(s, s') t(s')
    where E is the exit rate. Solve (I - A) t = b over the states that reach
    psi with probability 1; everything else is infinity. *)
-let expected_reward_to ?(tol = 1e-13) m ~reward ~psi =
+let expected_reward_to ?(tol = 1e-13) ?analysis m ~reward ~psi =
   let n = Chain.states m in
   if Vec.dim reward <> n then invalid_arg "Absorption: reward dimension mismatch";
-  let reach = Reachability.eventually ~tol m ~psi in
+  let a = Analysis.for_chain analysis m in
+  let reach = Reachability.eventually ~tol ~analysis:a m ~psi in
   let result = Vec.create n infinity in
   let certain = Array.init n (fun s -> reach.(s) >= 1. -. 1e-9) in
   let solve_states =
@@ -28,7 +29,7 @@ let expected_reward_to ?(tol = 1e-13) m ~reward ~psi =
   let nm = !count in
   if nm > 0 then begin
     let exits = Chain.exit_rates m in
-    let emb = Chain.embedded m in
+    let emb = Analysis.embedded a in
     let b = Sparse.Builder.create ~rows:nm ~cols:nm in
     let rhs = Vec.zeros nm in
     for s = 0 to n - 1 do
@@ -48,11 +49,11 @@ let expected_reward_to ?(tol = 1e-13) m ~reward ~psi =
   end;
   result
 
-let expected_time_to ?tol m ~psi =
-  expected_reward_to ?tol m ~reward:(Vec.create (Chain.states m) 1.) ~psi
+let expected_time_to ?tol ?analysis m ~psi =
+  expected_reward_to ?tol ?analysis m ~reward:(Vec.create (Chain.states m) 1.) ~psi
 
-let mean_time_from_init ?tol m ~psi =
-  let times = expected_time_to ?tol m ~psi in
+let mean_time_from_init ?tol ?analysis m ~psi =
+  let times = expected_time_to ?tol ?analysis m ~psi in
   let init = Chain.initial m in
   let acc = ref 0. in
   Array.iteri (fun s p -> if p > 0. then acc := !acc +. (p *. times.(s))) init;

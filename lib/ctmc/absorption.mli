@@ -5,15 +5,20 @@
     system failure") — and, more generally, the expected reward accumulated
     until hitting the target. States that reach the target with probability
     less than one get [infinity] (the conditional expectation is not what
-    CSRL's reachability reward defines; PRISM makes the same choice). *)
+    CSRL's reachability reward defines; PRISM makes the same choice).
 
-val expected_time_to : ?tol:float -> Chain.t -> psi:(int -> bool) -> Numeric.Vec.t
+    With an [?analysis] session the embedded matrix and the reachability
+    pre-computation share the session's caches. *)
+
+val expected_time_to :
+  ?tol:float -> ?analysis:Analysis.t -> Chain.t -> psi:(int -> bool) -> Numeric.Vec.t
 (** [expected_time_to m ~psi] has entry [s] equal to the expected time to
     reach a [psi] state from [s] ([0.] on [psi] states themselves,
     [infinity] where the hit is not almost sure). *)
 
 val expected_reward_to :
   ?tol:float ->
+  ?analysis:Analysis.t ->
   Chain.t ->
   reward:Numeric.Vec.t ->
   psi:(int -> bool) ->
@@ -22,5 +27,6 @@ val expected_reward_to :
     first hitting [psi]. [expected_time_to] is the special case of a
     constant rate 1. *)
 
-val mean_time_from_init : ?tol:float -> Chain.t -> psi:(int -> bool) -> float
+val mean_time_from_init :
+  ?tol:float -> ?analysis:Analysis.t -> Chain.t -> psi:(int -> bool) -> float
 (** Initial-distribution-weighted expected hitting time. *)

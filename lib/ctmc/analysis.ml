@@ -1,0 +1,251 @@
+module Vec = Numeric.Vec
+module Sparse = Numeric.Sparse
+module Fox_glynn = Numeric.Fox_glynn
+module Digraph = Numeric.Digraph
+
+type counters = {
+  mutable uniformized_builds : int;
+  mutable uniformized_hits : int;
+  mutable embedded_builds : int;
+  mutable weight_computes : int;
+  mutable weight_hits : int;
+  mutable steady_solves : int;
+  mutable steady_hits : int;
+  mutable absorbed_builds : int;
+  mutable absorbed_hits : int;
+}
+
+type stats = {
+  uniformized_builds : int;
+  uniformized_hits : int;
+  embedded_builds : int;
+  weight_computes : int;
+  weight_hits : int;
+  steady_solves : int;
+  steady_hits : int;
+  absorbed_builds : int;
+  absorbed_hits : int;
+}
+
+type t = {
+  chain : Chain.t;
+  mutable unif : (float * Sparse.t) option;
+  mutable emb : Sparse.t option;
+  mutable graph : Digraph.t option;
+  mutable scc : (int array * int list array) option;
+  mutable bscc : int list array option;
+  weight_tbl : (float * float, Fox_glynn.t) Hashtbl.t;
+  steady_tbl : (float, Vec.t) Hashtbl.t;
+  absorbed_tbl : (string, t) Hashtbl.t;
+  counters : counters;
+}
+
+let create chain =
+  {
+    chain;
+    unif = None;
+    emb = None;
+    graph = None;
+    scc = None;
+    bscc = None;
+    weight_tbl = Hashtbl.create 16;
+    steady_tbl = Hashtbl.create 4;
+    absorbed_tbl = Hashtbl.create 8;
+    counters =
+      {
+        uniformized_builds = 0;
+        uniformized_hits = 0;
+        embedded_builds = 0;
+        weight_computes = 0;
+        weight_hits = 0;
+        steady_solves = 0;
+        steady_hits = 0;
+        absorbed_builds = 0;
+        absorbed_hits = 0;
+      };
+  }
+
+let chain t = t.chain
+
+let wraps t m = t.chain == m
+
+let for_chain analysis m =
+  match analysis with Some a when wraps a m -> a | Some _ | None -> create m
+
+let uniformized t =
+  match t.unif with
+  | Some u ->
+      t.counters.uniformized_hits <- t.counters.uniformized_hits + 1;
+      u
+  | None ->
+      let u = Chain.uniformized t.chain in
+      t.counters.uniformized_builds <- t.counters.uniformized_builds + 1;
+      t.unif <- Some u;
+      u
+
+let embedded t =
+  match t.emb with
+  | Some e -> e
+  | None ->
+      let e = Chain.embedded t.chain in
+      t.counters.embedded_builds <- t.counters.embedded_builds + 1;
+      t.emb <- Some e;
+      e
+
+let graph t =
+  match t.graph with
+  | Some g -> g
+  | None ->
+      let g = Digraph.of_sparse (Chain.rates t.chain) in
+      t.graph <- Some g;
+      g
+
+let sccs t =
+  match t.scc with
+  | Some s -> s
+  | None ->
+      let s = Digraph.sccs (graph t) in
+      t.scc <- Some s;
+      s
+
+let bottom_sccs t =
+  match t.bscc with
+  | Some b -> b
+  | None ->
+      let b = Digraph.bottom_sccs (graph t) in
+      t.bscc <- Some b;
+      b
+
+let is_irreducible t =
+  let _, members = sccs t in
+  Array.length members = 1
+
+let default_epsilon = 1e-12
+
+let weights ?(epsilon = default_epsilon) t time =
+  let lambda, _ = uniformized t in
+  let key = (lambda *. time, epsilon) in
+  match Hashtbl.find_opt t.weight_tbl key with
+  | Some w ->
+      t.counters.weight_hits <- t.counters.weight_hits + 1;
+      w
+  | None ->
+      let w = Fox_glynn.compute ~epsilon (lambda *. time) in
+      t.counters.weight_computes <- t.counters.weight_computes + 1;
+      Hashtbl.replace t.weight_tbl key w;
+      w
+
+let cached_steady t ~tol compute =
+  match Hashtbl.find_opt t.steady_tbl tol with
+  | Some pi ->
+      t.counters.steady_hits <- t.counters.steady_hits + 1;
+      Vec.copy pi
+  | None ->
+      let pi = compute () in
+      t.counters.steady_solves <- t.counters.steady_solves + 1;
+      Hashtbl.replace t.steady_tbl tol (Vec.copy pi);
+      pi
+
+let pred_key pred n =
+  let b = Bytes.create n in
+  for s = 0 to n - 1 do
+    Bytes.unsafe_set b s (if pred s then '1' else '0')
+  done;
+  Bytes.unsafe_to_string b
+
+let absorbed ?name t ~pred =
+  let key =
+    match name with
+    | Some n -> "@" ^ n
+    | None -> "#" ^ pred_key pred (Chain.states t.chain)
+  in
+  match Hashtbl.find_opt t.absorbed_tbl key with
+  | Some sub ->
+      t.counters.absorbed_hits <- t.counters.absorbed_hits + 1;
+      sub
+  | None ->
+      let sub = create (Chain.absorbing t.chain ~pred) in
+      t.counters.absorbed_builds <- t.counters.absorbed_builds + 1;
+      Hashtbl.replace t.absorbed_tbl key sub;
+      sub
+
+type dir = Forward | Backward
+
+type coeff = Pmf | Tail_over_lambda
+
+(* The one uniformization kernel behind transient distributions, backward
+   value vectors and accumulated rewards:
+
+     sum_{k=0}^{right} c_k v_k   with   v_{k+1} = step(v_k),
+
+   where step is [v P] (Forward) or [P v] (Backward) over the uniformized
+   matrix P, and the coefficients are either the truncated Poisson
+   probabilities (Pmf: the transient mixture) or the scaled upper tails
+   [P(N_{lambda t} >= k+1) / lambda] (Tail_over_lambda: the accumulated-
+   reward integral). Steps below the Fox-Glynn window's left edge can have
+   zero coefficients but must still be applied. *)
+let poisson_mixture ?epsilon t ~dir ~coeff start ~time =
+  if time < 0. then invalid_arg "Analysis.poisson_mixture: negative time";
+  if Vec.dim start <> Chain.states t.chain then
+    invalid_arg "Analysis.poisson_mixture: dimension mismatch";
+  if time = 0. then
+    match coeff with
+    | Pmf -> Vec.copy start
+    | Tail_over_lambda -> Vec.zeros (Vec.dim start)
+  else begin
+    let lambda, p = uniformized t in
+    let w = weights ?epsilon t time in
+    let { Fox_glynn.left; right; weights = wts; _ } = w in
+    let coeff_at =
+      match coeff with
+      | Pmf -> fun k -> if k >= left then wts.(k - left) else 0.
+      | Tail_over_lambda ->
+          let tail = Fox_glynn.cumulative_tail w in
+          let total = Fox_glynn.total_mass w in
+          fun k ->
+            (* P(N >= k + 1) within the truncated window, over lambda *)
+            let k1 = k + 1 in
+            (if k1 <= left then total
+             else if k1 > right then 0.
+             else tail.(k1 - left))
+            /. lambda
+    in
+    let n = Vec.dim start in
+    let acc = Vec.zeros n in
+    let v = ref (Vec.copy start) and next = ref (Vec.zeros n) in
+    for k = 0 to right do
+      let c = coeff_at k in
+      if c <> 0. then Vec.axpy c !v acc;
+      if k < right then begin
+        (match dir with
+        | Forward -> Sparse.vec_mul_into !v p !next
+        | Backward -> Sparse.mul_vec_into p !v !next);
+        let tmp = !v in
+        v := !next;
+        next := tmp
+      end
+    done;
+    acc
+  end
+
+let stats t =
+  let c = t.counters in
+  {
+    uniformized_builds = c.uniformized_builds;
+    uniformized_hits = c.uniformized_hits;
+    embedded_builds = c.embedded_builds;
+    weight_computes = c.weight_computes;
+    weight_hits = c.weight_hits;
+    steady_solves = c.steady_solves;
+    steady_hits = c.steady_hits;
+    absorbed_builds = c.absorbed_builds;
+    absorbed_hits = c.absorbed_hits;
+  }
+
+let pp_stats ppf t =
+  let s = stats t in
+  Format.fprintf ppf
+    "analysis: unif %d built/%d hits, fg %d computed/%d hits, steady %d \
+     solved/%d hits, absorbed %d built/%d hits"
+    s.uniformized_builds s.uniformized_hits s.weight_computes s.weight_hits
+    s.steady_solves s.steady_hits s.absorbed_builds s.absorbed_hits

@@ -1,0 +1,117 @@
+(** Cached analysis sessions over a CTMC.
+
+    The paper's tool chain builds each model once and then checks many
+    CSL/CSRL properties against it. The expensive derived artifacts —
+    uniformized matrix, Fox–Glynn weight vectors, embedded jump matrix,
+    (B)SCC decomposition, steady-state vector, absorbed-chain variants —
+    are shared across queries through an analysis session: every query
+    module ({!Transient}, {!Reachability}, {!Rewards}, {!Steady_state},
+    {!Absorption}) accepts an optional [?analysis] session and memoizes
+    what it derives into it, so checking the full measure suite builds the
+    uniformized matrix at most once per distinct chain.
+
+    Sessions are not thread-safe; use one per chain per thread. *)
+
+type t
+
+val create : Chain.t -> t
+(** A fresh session wrapping [chain]. Nothing is computed up front; every
+    derived artifact is built lazily on first demand. *)
+
+val chain : t -> Chain.t
+(** The wrapped chain. *)
+
+val wraps : t -> Chain.t -> bool
+(** [wraps t m] is true when [t] is a session for exactly (physically) the
+    chain [m] — the guard the query modules use before trusting a session
+    passed alongside a chain. *)
+
+val for_chain : t option -> Chain.t -> t
+(** [for_chain analysis m] is [analysis] when it wraps [m], and a fresh
+    throwaway session otherwise — the standard entry-point shim: queries
+    without a session behave exactly as before, queries with one share its
+    caches. *)
+
+(** {2 Memoized derived artifacts} *)
+
+val uniformized : t -> float * Numeric.Sparse.t
+(** [(lambda, P)] as {!Chain.uniformized}, built once per session. *)
+
+val embedded : t -> Numeric.Sparse.t
+(** The embedded jump matrix, built once per session. *)
+
+val weights : ?epsilon:float -> t -> float -> Numeric.Fox_glynn.t
+(** [weights t time] is the Fox–Glynn weight vector for [lambda * time],
+    memoized by [(lambda * time, epsilon)]. [epsilon] defaults to [1e-12]
+    (the {!Numeric.Fox_glynn.compute} default). *)
+
+val graph : t -> Numeric.Digraph.t
+(** The transition digraph, built once per session. *)
+
+val sccs : t -> int array * int list array
+(** {!Numeric.Digraph.sccs} of {!graph}, computed once per session. *)
+
+val bottom_sccs : t -> int list array
+(** The recurrent classes, computed once per session. *)
+
+val is_irreducible : t -> bool
+
+val cached_steady : t -> tol:float -> (unit -> Numeric.Vec.t) -> Numeric.Vec.t
+(** [cached_steady t ~tol compute] returns the memoized steady-state vector
+    for tolerance [tol], running [compute] only on the first call. The
+    result is a private copy; callers may mutate it freely. (The solver
+    lives in {!Steady_state}, which sits above this module; the session
+    only owns the storage.) *)
+
+val absorbed : ?name:string -> t -> pred:(int -> bool) -> t
+(** [absorbed t ~pred] is the sub-session for [Chain.absorbing chain ~pred]
+    (the transformed chain bounded-until model checking runs on), memoized
+    so repeated queries against the same target set reuse one absorbed
+    chain and its uniformized matrix. Keyed by [name] when given (the
+    caller vouches that equal names mean equal predicates); otherwise by
+    the predicate's bitmask over the state space, so distinct predicates
+    can never collide. *)
+
+(** {2 The shared uniformization kernel} *)
+
+type dir = Forward | Backward
+
+type coeff =
+  | Pmf  (** Poisson probabilities: transient mixtures. *)
+  | Tail_over_lambda
+      (** [P(N >= k+1) / lambda]: the accumulated-reward integral. *)
+
+val poisson_mixture :
+  ?epsilon:float -> t -> dir:dir -> coeff:coeff -> Numeric.Vec.t -> time:float -> Numeric.Vec.t
+(** [poisson_mixture t ~dir ~coeff start ~time] is
+    [sum_k c_k v_k] with [v_0 = start] and [v_{k+1} = v_k P] ([Forward])
+    or [P v_k] ([Backward]) over the uniformized matrix, [c_k] given by
+    [coeff], and [k] ranging over the Fox–Glynn window for
+    [lambda * time]. This one kernel implements forward transient
+    distributions, backward value vectors (bounded until) and accumulated
+    rewards. [time = 0] yields a copy of [start] ([Pmf]) or zeros
+    ([Tail_over_lambda]). Raises [Invalid_argument] on a negative time or
+    a dimension mismatch. *)
+
+(** {2 Instrumentation} *)
+
+type stats = {
+  uniformized_builds : int;
+  uniformized_hits : int;
+  embedded_builds : int;
+  weight_computes : int;
+  weight_hits : int;
+  steady_solves : int;
+  steady_hits : int;
+  absorbed_builds : int;
+  absorbed_hits : int;
+}
+(** Cache-effectiveness counters for this session alone (sub-sessions from
+    {!absorbed} keep their own). Exposed so tests can assert that repeated
+    queries do not rebuild artifacts, and so the bench can report hit
+    rates. *)
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line build/hit summary. *)

@@ -4,23 +4,33 @@ module Sparse = Numeric.Sparse
 let indicator n pred =
   Array.init n (fun s -> if pred s then 1. else 0.)
 
-let absorb_for_until m ~phi ~psi =
-  Chain.absorbing m ~pred:(fun s -> psi s || not (phi s))
+(* The transformed chain bounded-until model checking runs on, plus its
+   sub-session when a session is available (so repeated queries against the
+   same [phi]/[psi] reuse one absorbed chain and uniformized matrix). *)
+let absorb ?analysis m ~pred =
+  match analysis with
+  | Some a when Analysis.wraps a m ->
+      let sub = Analysis.absorbed a ~pred in
+      (Analysis.chain sub, Some sub)
+  | Some _ | None -> (Chain.absorbing m ~pred, None)
 
-let bounded_until ?epsilon m ~phi ~psi ~bound =
+let absorb_for_until ?analysis m ~phi ~psi =
+  absorb ?analysis m ~pred:(fun s -> psi s || not (phi s))
+
+let bounded_until ?epsilon ?analysis m ~phi ~psi ~bound =
   if bound < 0. then invalid_arg "Reachability.bounded_until: negative bound";
-  let m' = absorb_for_until m ~phi ~psi in
+  let m', sub = absorb_for_until ?analysis m ~phi ~psi in
   let goal = indicator (Chain.states m) psi in
-  Transient.backward ?epsilon m' goal bound
+  Transient.backward ?epsilon ?analysis:sub m' goal bound
 
-let bounded_until_from_init ?epsilon m ~phi ~psi ~bound =
+let bounded_until_from_init ?epsilon ?analysis m ~phi ~psi ~bound =
   if bound < 0. then invalid_arg "Reachability.bounded_until: negative bound";
-  let m' = absorb_for_until m ~phi ~psi in
-  Transient.probability_at ?epsilon m' ~pred:psi bound
+  let m', sub = absorb_for_until ?analysis m ~phi ~psi in
+  Transient.probability_at ?epsilon ?analysis:sub m' ~pred:psi bound
 
-let bounded_until_curve ?epsilon m ~phi ~psi ~bounds =
-  let m' = absorb_for_until m ~phi ~psi in
-  let points = Transient.curve ?epsilon m' ~times:bounds in
+let bounded_until_curve ?epsilon ?analysis m ~phi ~psi ~bounds =
+  let m', sub = absorb_for_until ?analysis m ~phi ~psi in
+  let points = Transient.curve ?epsilon ?analysis:sub m' ~times:bounds in
   let mass pi =
     let acc = ref 0. in
     Array.iteri (fun s p -> if psi s then acc := !acc +. p) pi;
@@ -28,17 +38,17 @@ let bounded_until_curve ?epsilon m ~phi ~psi ~bounds =
   in
   List.map (fun (t, pi) -> (t, mass pi)) points
 
-let interval_until ?epsilon m ~phi ~psi ~lower ~upper =
+let interval_until ?epsilon ?analysis m ~phi ~psi ~lower ~upper =
   if lower < 0. || upper < lower then
     invalid_arg "Reachability.interval_until: bad interval";
-  if lower = 0. then bounded_until ?epsilon m ~phi ~psi ~bound:upper
+  if lower = 0. then bounded_until ?epsilon ?analysis m ~phi ~psi ~bound:upper
   else begin
-    let w = bounded_until ?epsilon m ~phi ~psi ~bound:(upper -. lower) in
+    let w = bounded_until ?epsilon ?analysis m ~phi ~psi ~bound:(upper -. lower) in
     (* during [0, lower) the path must stay inside phi; leaving phi zeroes
        the continuation value *)
     let w' = Array.mapi (fun s v -> if phi s then v else 0.) w in
-    let m1 = Chain.absorbing m ~pred:(fun s -> not (phi s)) in
-    let v = Transient.backward ?epsilon m1 w' lower in
+    let m1, sub1 = absorb ?analysis m ~pred:(fun s -> not (phi s)) in
+    let v = Transient.backward ?epsilon ?analysis:sub1 m1 w' lower in
     Array.mapi (fun s x -> if phi s then x else 0.) v
   end
 
@@ -48,7 +58,7 @@ let interval_until ?epsilon m ~phi ~psi ~lower ~upper =
      states: solve (I - A) x = b where A is the embedded matrix restricted
      to maybe states and b the one-step probability into psi;
    - everything else: probability 0. *)
-let unbounded_until ?(tol = 1e-13) m ~phi ~psi =
+let unbounded_until ?(tol = 1e-13) ?analysis m ~phi ~psi =
   let n = Chain.states m in
   let result = Vec.zeros n in
   (* graph restricted to edges leaving phi-and-not-psi states *)
@@ -74,7 +84,7 @@ let unbounded_until ?(tol = 1e-13) m ~phi ~psi =
     if psi s then result.(s) <- 1.
   done;
   if nm > 0 then begin
-    let emb = Chain.embedded m in
+    let emb = Analysis.embedded (Analysis.for_chain analysis m) in
     (* (I - A) x = b *)
     let b = Sparse.Builder.create ~rows:nm ~cols:nm in
     let rhs = Vec.zeros nm in
@@ -93,4 +103,5 @@ let unbounded_until ?(tol = 1e-13) m ~phi ~psi =
   end;
   result
 
-let eventually ?tol m ~psi = unbounded_until ?tol m ~phi:(fun _ -> true) ~psi
+let eventually ?tol ?analysis m ~psi =
+  unbounded_until ?tol ?analysis m ~phi:(fun _ -> true) ~psi

@@ -4,10 +4,15 @@
     make all [not phi and not psi] states and all [psi] states absorbing, then
     the probability of [phi U<=t psi] from state [s] equals the probability
     of sitting in a [psi] state at time [t] in the modified chain.
-    [unbounded_until] solves the linear system over the embedded DTMC. *)
+    [unbounded_until] solves the linear system over the embedded DTMC.
+
+    With an [?analysis] session the absorbed chain (and its uniformized
+    matrix) is memoized per target set via {!Analysis.absorbed}, and the
+    embedded matrix of the unbounded case is shared. *)
 
 val bounded_until :
   ?epsilon:float ->
+  ?analysis:Analysis.t ->
   Chain.t ->
   phi:(int -> bool) ->
   psi:(int -> bool) ->
@@ -17,6 +22,7 @@ val bounded_until :
 
 val bounded_until_from_init :
   ?epsilon:float ->
+  ?analysis:Analysis.t ->
   Chain.t ->
   phi:(int -> bool) ->
   psi:(int -> bool) ->
@@ -26,6 +32,7 @@ val bounded_until_from_init :
 
 val bounded_until_curve :
   ?epsilon:float ->
+  ?analysis:Analysis.t ->
   Chain.t ->
   phi:(int -> bool) ->
   psi:(int -> bool) ->
@@ -37,6 +44,7 @@ val bounded_until_curve :
 
 val interval_until :
   ?epsilon:float ->
+  ?analysis:Analysis.t ->
   Chain.t ->
   phi:(int -> bool) ->
   psi:(int -> bool) ->
@@ -50,10 +58,16 @@ val interval_until :
     a bounded until over [upper - lower] (Baier et al.). *)
 
 val unbounded_until :
-  ?tol:float -> Chain.t -> phi:(int -> bool) -> psi:(int -> bool) -> Numeric.Vec.t
+  ?tol:float ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  phi:(int -> bool) ->
+  psi:(int -> bool) ->
+  Numeric.Vec.t
 (** Per-state probability of [phi U psi] (no time bound). Exact 0 states
     (cannot reach [psi] within [phi]) are identified graph-theoretically
     before solving, so the linear system is non-singular. *)
 
-val eventually : ?tol:float -> Chain.t -> psi:(int -> bool) -> Numeric.Vec.t
+val eventually :
+  ?tol:float -> ?analysis:Analysis.t -> Chain.t -> psi:(int -> bool) -> Numeric.Vec.t
 (** [eventually m ~psi] is [unbounded_until m ~phi:(fun _ -> true) ~psi]. *)

@@ -1,6 +1,4 @@
 module Vec = Numeric.Vec
-module Sparse = Numeric.Sparse
-module Fox_glynn = Numeric.Fox_glynn
 
 type structure = Vec.t
 
@@ -8,50 +6,38 @@ let check_reward m reward =
   if Vec.dim reward <> Chain.states m then
     invalid_arg "Rewards: reward structure dimension mismatch"
 
-let instantaneous ?epsilon m ~reward ~at =
+let instantaneous ?epsilon ?analysis m ~reward ~at =
   check_reward m reward;
-  let pi = Transient.distribution ?epsilon m at in
+  let pi = Transient.distribution ?epsilon ?analysis m at in
   Vec.dot pi reward
 
-let instantaneous_curve ?epsilon m ~reward ~times =
+let instantaneous_curve ?epsilon ?analysis m ~reward ~times =
   check_reward m reward;
-  let points = Transient.curve ?epsilon m ~times in
+  let points = Transient.curve ?epsilon ?analysis m ~times in
   List.map (fun (t, pi) -> (t, Vec.dot pi reward)) points
 
 (* E[int_0^t rho(X_u) du] from start distribution [start]:
      sum_{k>=0} (1/lambda) * P(N_{lambda t} >= k+1) * (v_k . rho)
-   where v_0 = start, v_{k+1} = v_k P. Terms with k below the Fox-Glynn
-   window have tail probability ~1; terms beyond it ~0. *)
-let accumulated_from ?epsilon m start ~reward t =
+   which is the Tail_over_lambda mixture dotted with rho; the loop is the
+   shared Analysis.poisson_mixture kernel. *)
+let accumulated_from ?epsilon a start ~reward t =
   if t < 0. then invalid_arg "Rewards.accumulated: negative time";
   if t = 0. then 0.
-  else begin
-    let lambda, p = Chain.uniformized m in
-    let weights = Fox_glynn.compute ?epsilon (lambda *. t) in
-    let tail = Fox_glynn.cumulative_tail weights in
-    let { Fox_glynn.left; right; _ } = weights in
-    let tail_ge k =
-      (* P(N >= k) within the truncated window *)
-      if k <= left then Fox_glynn.total_mass weights
-      else if k > right then 0.
-      else tail.(k - left)
+  else
+    let weighted =
+      Analysis.poisson_mixture ?epsilon a ~dir:Analysis.Forward
+        ~coeff:Analysis.Tail_over_lambda start ~time:t
     in
-    let acc = ref 0. in
-    let v = ref start in
-    for k = 0 to right do
-      let contribution = tail_ge (k + 1) /. lambda *. Vec.dot !v reward in
-      acc := !acc +. contribution;
-      if k < right then v := Sparse.vec_mul !v p
-    done;
-    !acc
-  end
+    Vec.dot weighted reward
 
-let accumulated ?epsilon m ~reward ~upto =
+let accumulated ?epsilon ?analysis m ~reward ~upto =
   check_reward m reward;
-  accumulated_from ?epsilon m (Chain.initial m) ~reward upto
+  let a = Analysis.for_chain analysis m in
+  accumulated_from ?epsilon a (Chain.initial m) ~reward upto
 
-let accumulated_curve ?epsilon m ~reward ~times =
+let accumulated_curve ?epsilon ?analysis m ~reward ~times =
   check_reward m reward;
+  let a = Analysis.for_chain analysis m in
   let sorted = List.sort_uniq compare times in
   List.iter
     (fun t -> if t < 0. then invalid_arg "Rewards.accumulated_curve: negative time")
@@ -59,18 +45,18 @@ let accumulated_curve ?epsilon m ~reward ~times =
   let _, _, result =
     List.fold_left
       (fun (t_prev, pi_prev, acc_points) t ->
-        let seg = accumulated_from ?epsilon m pi_prev ~reward (t -. t_prev) in
+        let seg = accumulated_from ?epsilon a pi_prev ~reward (t -. t_prev) in
         let total =
           match acc_points with [] -> seg | (_, prev_total) :: _ -> prev_total +. seg
         in
-        let pi = Transient.distribution_from ?epsilon m pi_prev (t -. t_prev) in
+        let pi = Transient.distribution_from ?epsilon ~analysis:a m pi_prev (t -. t_prev) in
         (t, pi, (t, total) :: acc_points))
       (0., Chain.initial m, [])
       sorted
   in
   List.rev result
 
-let steady_state ?tol m ~reward =
+let steady_state ?tol ?analysis m ~reward =
   check_reward m reward;
-  let pi = Steady_state.solve ?tol m in
+  let pi = Steady_state.solve ?tol ?analysis m in
   Vec.dot pi reward

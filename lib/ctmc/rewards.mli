@@ -5,29 +5,46 @@
 
     - instantaneous reward [R=? [I=t]]: expected reward rate at time [t],
     - accumulated reward [R=? [C<=t]]: expected reward accumulated in [0,t],
-    - steady-state reward [R=? [S]]: long-run average reward rate. *)
+    - steady-state reward [R=? [S]]: long-run average reward rate.
+
+    All operators accept an [?analysis] session; with one, the transient
+    runs share the memoized uniformized matrix and Fox–Glynn weights and
+    the steady-state operator shares the cached stationary vector. *)
 
 type structure = Numeric.Vec.t
 (** [structure.(s)] is the reward rate of state [s]. *)
 
-val instantaneous : ?epsilon:float -> Chain.t -> reward:structure -> at:float -> float
+val instantaneous :
+  ?epsilon:float -> ?analysis:Analysis.t -> Chain.t -> reward:structure -> at:float -> float
 (** [instantaneous m ~reward ~at] is [sum_s pi(at)(s) * reward(s)]. *)
 
 val instantaneous_curve :
-  ?epsilon:float -> Chain.t -> reward:structure -> times:float list -> (float * float) list
+  ?epsilon:float ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  reward:structure ->
+  times:float list ->
+  (float * float) list
 (** Instantaneous reward at several time points, sharing one forward
     uniformization run. *)
 
-val accumulated : ?epsilon:float -> Chain.t -> reward:structure -> upto:float -> float
+val accumulated :
+  ?epsilon:float -> ?analysis:Analysis.t -> Chain.t -> reward:structure -> upto:float -> float
 (** [accumulated m ~reward ~upto] is [E(int_0^upto reward(X_u) du)],
     computed by the uniformization integral
     [sum_k (1/lambda) P(Poisson(lambda t) > k) (v_k . rho)]. *)
 
 val accumulated_curve :
-  ?epsilon:float -> Chain.t -> reward:structure -> times:float list -> (float * float) list
+  ?epsilon:float ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  reward:structure ->
+  times:float list ->
+  (float * float) list
 (** Accumulated reward at several increasing time points; each segment
     restarts from the transient distribution of the previous point, so the
     whole curve costs one long run. *)
 
-val steady_state : ?tol:float -> Chain.t -> reward:structure -> float
+val steady_state :
+  ?tol:float -> ?analysis:Analysis.t -> Chain.t -> reward:structure -> float
 (** Long-run average reward rate. *)

@@ -1,12 +1,12 @@
 module Vec = Numeric.Vec
 module Sparse = Numeric.Sparse
-module Digraph = Numeric.Digraph
 
-let graph m = Digraph.of_sparse (Chain.rates m)
+(* Matches the Numeric.Solver iterative-solver default; used as the cache
+   key when the caller does not pass an explicit tolerance. *)
+let default_tol = 1e-12
 
-let is_irreducible m =
-  let _, members = Digraph.sccs (graph m) in
-  Array.length members = 1
+let is_irreducible ?analysis m =
+  Analysis.is_irreducible (Analysis.for_chain analysis m)
 
 (* Stationary vector of an irreducible generator. Gauss-Seidel on the
    normalized singular system converges fast on most chains but is not
@@ -40,8 +40,8 @@ let stationary_of_generator ?tol q =
       Vec.normalize_l1 pi;
       pi
 
-let solve_irreducible ?tol m =
-  if not (is_irreducible m) then
+let solve_irreducible ?tol ?analysis m =
+  if not (is_irreducible ?analysis m) then
     invalid_arg "Steady_state.solve_irreducible: chain is reducible";
   stationary_of_generator ?tol (Chain.generator m)
 
@@ -71,13 +71,12 @@ let add_local_solution ?tol m members weight result =
       let pi = stationary_of_generator ?tol (Sparse.Builder.to_csr b) in
       Array.iteri (fun i s -> result.(s) <- result.(s) +. (weight *. pi.(i))) members
 
-let solve ?tol m =
+let solve_fresh ?tol a m =
   let n = Chain.states m in
-  let g = graph m in
-  let _, sccs = Digraph.sccs g in
-  if Array.length sccs = 1 then solve_irreducible ?tol m
+  let _, sccs = Analysis.sccs a in
+  if Array.length sccs = 1 then stationary_of_generator ?tol (Chain.generator m)
   else begin
-    let bsccs = Digraph.bottom_sccs g in
+    let bsccs = Analysis.bottom_sccs a in
     let result = Vec.zeros n in
     let in_bscc = Array.make n (-1) in
     Array.iteri (fun c members -> List.iter (fun s -> in_bscc.(s) <- c) members) bsccs;
@@ -85,7 +84,7 @@ let solve ?tol m =
       (fun c members ->
         (* weight = P(eventually enter class c) from the initial distribution *)
         let reach =
-          Reachability.eventually ?tol m ~psi:(fun s -> in_bscc.(s) = c)
+          Reachability.eventually ?tol ~analysis:a m ~psi:(fun s -> in_bscc.(s) = c)
         in
         let weight = Vec.dot (Chain.initial m) reach in
         if weight > 0. then add_local_solution ?tol m members weight result)
@@ -93,8 +92,16 @@ let solve ?tol m =
     result
   end
 
-let long_run_probability ?tol m ~pred =
-  let pi = solve ?tol m in
+let solve ?tol ?analysis m =
+  match analysis with
+  | Some a when Analysis.wraps a m ->
+      Analysis.cached_steady a
+        ~tol:(Option.value tol ~default:default_tol)
+        (fun () -> solve_fresh ?tol a m)
+  | Some _ | None -> solve_fresh ?tol (Analysis.create m) m
+
+let long_run_probability ?tol ?analysis m ~pred =
+  let pi = solve ?tol ?analysis m in
   let acc = ref 0. in
   Array.iteri (fun s p -> if pred s then acc := !acc +. p) pi;
   !acc

@@ -4,18 +4,25 @@
     case decomposes the chain into bottom strongly connected components
     (recurrent classes), solves each in isolation, and weights the local
     solutions by the probability of reaching each class from the initial
-    distribution — exactly PRISM's treatment of CSL's [S] operator. *)
+    distribution — exactly PRISM's treatment of CSL's [S] operator.
 
-val solve : ?tol:float -> Chain.t -> Numeric.Vec.t
+    With an [?analysis] session the SCC/BSCC decomposition, the embedded
+    matrix behind the reach-weights and the solved stationary vector
+    itself (keyed by tolerance) are memoized, so availability and
+    steady-state rewards over the same chain cost one solve. *)
+
+val solve : ?tol:float -> ?analysis:Analysis.t -> Chain.t -> Numeric.Vec.t
 (** [solve m] is the long-run probability distribution over states, taking
     the initial distribution into account when the chain is reducible. *)
 
-val solve_irreducible : ?tol:float -> Chain.t -> Numeric.Vec.t
+val solve_irreducible :
+  ?tol:float -> ?analysis:Analysis.t -> Chain.t -> Numeric.Vec.t
 (** Fast path: requires the whole chain to be a single recurrent class;
     raises [Invalid_argument] otherwise. Initial-distribution independent. *)
 
-val long_run_probability : ?tol:float -> Chain.t -> pred:(int -> bool) -> float
+val long_run_probability :
+  ?tol:float -> ?analysis:Analysis.t -> Chain.t -> pred:(int -> bool) -> float
 (** [long_run_probability m ~pred] is the long-run fraction of time spent in
     states satisfying [pred] — CSL's [S=? [pred]]. *)
 
-val is_irreducible : Chain.t -> bool
+val is_irreducible : ?analysis:Analysis.t -> Chain.t -> bool

@@ -1,58 +1,47 @@
 module Vec = Numeric.Vec
-module Sparse = Numeric.Sparse
-module Fox_glynn = Numeric.Fox_glynn
 
-(* Shared skeleton: accumulate sum_k w_k * v_k where v_0 is the start vector
-   and v_{k+1} = step v_k. Steps below the Fox-Glynn window's left edge
-   contribute no weight but must still be applied. *)
-let weighted_sum ~weights ~start ~step =
-  let { Fox_glynn.left; right; weights = w; _ } = weights in
-  let acc = Vec.zeros (Vec.dim start) in
-  let v = ref start in
-  for k = 0 to right do
-    if k >= left then Vec.axpy w.(k - left) !v acc;
-    if k < right then v := step !v
-  done;
-  acc
+(* The Poisson-mixture loops live in Analysis.poisson_mixture, the one
+   kernel shared with Reachability (via backward) and Rewards; this module
+   keeps the time bookkeeping and the forward/backward entry points. *)
 
-let distribution_from ?epsilon m start t =
+let distribution_from ?epsilon ?analysis m start t =
   if t < 0. then invalid_arg "Transient.distribution_from: negative time";
   if t = 0. then Vec.copy start
-  else begin
-    let lambda, p = Chain.uniformized m in
-    let weights = Fox_glynn.compute ?epsilon (lambda *. t) in
-    weighted_sum ~weights ~start ~step:(fun v -> Sparse.vec_mul v p)
-  end
+  else
+    let a = Analysis.for_chain analysis m in
+    Analysis.poisson_mixture ?epsilon a ~dir:Analysis.Forward ~coeff:Analysis.Pmf
+      start ~time:t
 
-let distribution ?epsilon m t = distribution_from ?epsilon m (Chain.initial m) t
+let distribution ?epsilon ?analysis m t =
+  distribution_from ?epsilon ?analysis m (Chain.initial m) t
 
-let curve ?epsilon m ~times =
+let curve ?epsilon ?analysis m ~times =
+  let a = Analysis.for_chain analysis m in
   let sorted = List.sort_uniq compare times in
   List.iter (fun t -> if t < 0. then invalid_arg "Transient.curve: negative time") sorted;
   let _, result =
     List.fold_left
       (fun (prev, acc) t ->
         let t_prev, pi_prev = prev in
-        let pi = distribution_from ?epsilon m pi_prev (t -. t_prev) in
+        let pi = distribution_from ?epsilon ~analysis:a m pi_prev (t -. t_prev) in
         ((t, pi), (t, pi) :: acc))
       ((0., Chain.initial m), [])
       sorted
   in
   List.rev result
 
-let probability_at ?epsilon m ~pred t =
-  let pi = distribution ?epsilon m t in
+let probability_at ?epsilon ?analysis m ~pred t =
+  let pi = distribution ?epsilon ?analysis m t in
   let acc = ref 0. in
   Array.iteri (fun s p -> if pred s then acc := !acc +. p) pi;
   !acc
 
-let backward ?epsilon m v t =
+let backward ?epsilon ?analysis m v t =
   if t < 0. then invalid_arg "Transient.backward: negative time";
   if Vec.dim v <> Chain.states m then
     invalid_arg "Transient.backward: dimension mismatch";
   if t = 0. then Vec.copy v
-  else begin
-    let lambda, p = Chain.uniformized m in
-    let weights = Fox_glynn.compute ?epsilon (lambda *. t) in
-    weighted_sum ~weights ~start:v ~step:(fun v -> Sparse.mul_vec p v)
-  end
+  else
+    let a = Analysis.for_chain analysis m in
+    Analysis.poisson_mixture ?epsilon a ~dir:Analysis.Backward ~coeff:Analysis.Pmf
+      v ~time:t

@@ -2,18 +2,33 @@
 
     Computes the state-probability distribution [pi(t) = pi(0) e^(Q t)] as a
     Poisson-weighted mixture of DTMC step distributions, with truncation
-    error bounded by the {!Numeric.Fox_glynn} epsilon. *)
+    error bounded by the {!Numeric.Fox_glynn} epsilon.
 
-val distribution : ?epsilon:float -> Chain.t -> float -> Numeric.Vec.t
+    Every entry point takes an optional [?analysis] session
+    ({!Analysis.t}); when given (and wrapping the same chain), the
+    uniformized matrix and Fox–Glynn weights are fetched from — and
+    memoized into — the session instead of being rebuilt per call. *)
+
+val distribution :
+  ?epsilon:float -> ?analysis:Analysis.t -> Chain.t -> float -> Numeric.Vec.t
 (** [distribution m t] is the distribution over states at time [t >= 0],
     starting from the chain's initial distribution. *)
 
 val distribution_from :
-  ?epsilon:float -> Chain.t -> Numeric.Vec.t -> float -> Numeric.Vec.t
+  ?epsilon:float ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  Numeric.Vec.t ->
+  float ->
+  Numeric.Vec.t
 (** As {!distribution} but starting from an explicit distribution. *)
 
 val curve :
-  ?epsilon:float -> Chain.t -> times:float list -> (float * Numeric.Vec.t) list
+  ?epsilon:float ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  times:float list ->
+  (float * Numeric.Vec.t) list
 (** [curve m ~times] evaluates the distribution at each time point.
     Time points are processed in increasing order and each step reuses the
     previous distribution ([pi(t2) = pi(t1) e^(Q (t2 - t1))]), so a curve
@@ -21,12 +36,22 @@ val curve :
     by time. *)
 
 val probability_at :
-  ?epsilon:float -> Chain.t -> pred:(int -> bool) -> float -> float
+  ?epsilon:float ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  pred:(int -> bool) ->
+  float ->
+  float
 (** [probability_at m ~pred t] is the probability mass on states satisfying
     [pred] at time [t]. *)
 
 val backward :
-  ?epsilon:float -> Chain.t -> Numeric.Vec.t -> float -> Numeric.Vec.t
+  ?epsilon:float ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  Numeric.Vec.t ->
+  float ->
+  Numeric.Vec.t
 (** [backward m v t] is [e^(Q t) v]: entry [s] is the expected value of
     [v] at time [t] conditional on starting in state [s]. This is the
     per-start-state view used by bounded-until model checking. *)

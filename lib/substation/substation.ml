@@ -101,4 +101,4 @@ let summary ppf () =
   Format.fprintf ppf "  accumulated cost over 240 h:  %.1f@."
     (Measures.accumulated_cost good ~time:240.);
   Format.fprintf ppf "@.importance (by Birnbaum):@.";
-  Importance.pp_table ppf (Importance.analyze built)
+  Importance.pp_table ppf (Importance.analyze ~analysis:(Measures.analysis m) built)

@@ -124,7 +124,9 @@ let lumping_table () =
           Array.map (function s :: _ -> full s | [] -> false) r.Ctmc.Lumping.blocks
         in
         let avail_q =
-          Ctmc.Steady_state.long_run_probability quotient ~pred:(fun b -> block_full.(b))
+          Ctmc.Steady_state.long_run_probability
+            ~analysis:(Ctmc.Analysis.create quotient) quotient
+            ~pred:(fun b -> block_full.(b))
         in
         [
           Facility.line_name line;
@@ -147,7 +149,7 @@ let lumping_table () =
 
 let importance_table line =
   let m = Facility.analyze line Facility.ded in
-  let indices = Importance.analyze (Measures.built m) in
+  let indices = Importance.analyze ~analysis:(Measures.analysis m) (Measures.built m) in
   let rows =
     List.map
       (fun i ->

@@ -3,6 +3,7 @@
    against the independent Monte-Carlo simulator. *)
 
 module Chain = Ctmc.Chain
+module Analysis = Ctmc.Analysis
 module Transient = Ctmc.Transient
 module Reachability = Ctmc.Reachability
 module Steady_state = Ctmc.Steady_state
@@ -594,6 +595,110 @@ let prop_lumping_preserves_steady_state =
       let projected = Lumping.project r pi in
       Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-6) projected pi_q)
 
+(* ------------------------------------------------------------------ *)
+(* Analysis sessions: cached queries must match the fresh-chain path, and
+   repeated queries must be served from the caches *)
+
+(* reducible on purpose ({3,4} is the only BSCC) so the steady-state path
+   exercises the BSCC decomposition and reachability caches too *)
+let analysis_chain () =
+  Chain.of_transitions ~states:5
+    [
+      (0, 1, 2.); (1, 0, 1.); (1, 2, 3.); (2, 1, 0.5); (2, 3, 1.5);
+      (3, 4, 2.5); (4, 3, 1.);
+    ]
+
+let check_vec msg expected actual =
+  Array.iteri
+    (fun i e -> check_close (Printf.sprintf "%s[%d]" msg i) e actual.(i))
+    expected
+
+let test_analysis_transient_equiv () =
+  let m = analysis_chain () in
+  let a = Analysis.create m in
+  List.iter
+    (fun t ->
+      check_vec
+        (Printf.sprintf "distribution t=%g" t)
+        (Transient.distribution m t)
+        (Transient.distribution ~analysis:a m t))
+    [ 0.; 0.3; 1.7; 10. ];
+  check_close "probability_at"
+    (Transient.probability_at m ~pred:(fun s -> s >= 3) 2.)
+    (Transient.probability_at ~analysis:a m ~pred:(fun s -> s >= 3) 2.)
+
+let test_analysis_reachability_equiv () =
+  let m = analysis_chain () in
+  let a = Analysis.create m in
+  let phi s = s <> 2 and psi s = s = 4 in
+  check_vec "bounded until"
+    (Reachability.bounded_until m ~phi ~psi ~bound:1.5)
+    (Reachability.bounded_until ~analysis:a m ~phi ~psi ~bound:1.5);
+  check_vec "interval until"
+    (Reachability.interval_until m ~phi ~psi ~lower:0.5 ~upper:2.)
+    (Reachability.interval_until ~analysis:a m ~phi ~psi ~lower:0.5 ~upper:2.);
+  check_vec "unbounded until"
+    (Reachability.unbounded_until m ~phi ~psi)
+    (Reachability.unbounded_until ~analysis:a m ~phi ~psi)
+
+let test_analysis_rewards_equiv () =
+  let m = analysis_chain () in
+  let a = Analysis.create m in
+  let reward = Array.init (Chain.states m) (fun s -> float_of_int (s + 1)) in
+  check_close "instantaneous"
+    (Rewards.instantaneous m ~reward ~at:1.2)
+    (Rewards.instantaneous ~analysis:a m ~reward ~at:1.2);
+  check_close "accumulated"
+    (Rewards.accumulated m ~reward ~upto:3.)
+    (Rewards.accumulated ~analysis:a m ~reward ~upto:3.)
+
+let test_analysis_steady_equiv () =
+  let m = analysis_chain () in
+  let a = Analysis.create m in
+  check_vec "steady" (Steady_state.solve m) (Steady_state.solve ~analysis:a m);
+  ignore (Steady_state.solve ~analysis:a m);
+  let s = Analysis.stats a in
+  Alcotest.(check int) "one steady solve" 1 s.Analysis.steady_solves;
+  Alcotest.(check bool) "second solve is a hit" true (s.Analysis.steady_hits >= 1)
+
+let test_analysis_hit_counters () =
+  let m = analysis_chain () in
+  let a = Analysis.create m in
+  let query () = Transient.probability_at ~analysis:a m ~pred:(fun s -> s = 0) 2. in
+  let v1 = query () in
+  let s1 = Analysis.stats a in
+  Alcotest.(check int) "one uniformized build" 1 s1.Analysis.uniformized_builds;
+  Alcotest.(check int) "one weight compute" 1 s1.Analysis.weight_computes;
+  let v2 = query () in
+  check_close "identical queries agree" v1 v2;
+  let s2 = Analysis.stats a in
+  Alcotest.(check int) "still one uniformized build" 1 s2.Analysis.uniformized_builds;
+  Alcotest.(check int) "still one weight compute" 1 s2.Analysis.weight_computes;
+  Alcotest.(check bool) "matrix fetch was a hit" true
+    (s2.Analysis.uniformized_hits > s1.Analysis.uniformized_hits);
+  Alcotest.(check bool) "weight fetch was a hit" true
+    (s2.Analysis.weight_hits > s1.Analysis.weight_hits)
+
+let test_analysis_absorbed_cache () =
+  let m = analysis_chain () in
+  let a = Analysis.create m in
+  let phi s = s <= 3 and psi s = s = 4 in
+  let v1 = Reachability.bounded_until ~analysis:a m ~phi ~psi ~bound:1. in
+  let v2 = Reachability.bounded_until ~analysis:a m ~phi ~psi ~bound:1. in
+  check_vec "identical queries agree" v1 v2;
+  let s = Analysis.stats a in
+  Alcotest.(check int) "one absorbed chain" 1 s.Analysis.absorbed_builds;
+  Alcotest.(check bool) "second query reuses it" true (s.Analysis.absorbed_hits >= 1)
+
+let test_analysis_wrong_chain_ignored () =
+  let m = analysis_chain () in
+  let a = Analysis.create (two_state 1. 2.) in
+  check_vec "foreign session falls back to fresh"
+    (Transient.distribution m 1.)
+    (Transient.distribution ~analysis:a m 1.);
+  let s = Analysis.stats a in
+  Alcotest.(check int) "foreign session untouched" 0 s.Analysis.uniformized_builds
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -679,6 +784,21 @@ let () =
           Alcotest.test_case "constant reward linear" `Quick
             test_accumulated_linear_when_constant;
           Alcotest.test_case "steady-state reward" `Quick test_steady_state_reward;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "transient equivalence" `Quick
+            test_analysis_transient_equiv;
+          Alcotest.test_case "reachability equivalence" `Quick
+            test_analysis_reachability_equiv;
+          Alcotest.test_case "reward equivalence" `Quick test_analysis_rewards_equiv;
+          Alcotest.test_case "steady-state equivalence" `Quick
+            test_analysis_steady_equiv;
+          Alcotest.test_case "hit counters" `Quick test_analysis_hit_counters;
+          Alcotest.test_case "absorbed-chain cache" `Quick
+            test_analysis_absorbed_cache;
+          Alcotest.test_case "foreign session ignored" `Quick
+            test_analysis_wrong_chain_ignored;
         ] );
       ( "lumping",
         [

@@ -96,7 +96,10 @@ let test_blackout_witness () =
   | None -> Alcotest.fail "expected a scenario"
 
 let test_importance_ranking () =
-  let indices = Core.Importance.analyze (Measures.built (Lazy.force analyzed)) in
+  let indices =
+    let m = Lazy.force analyzed in
+    Core.Importance.analyze ~analysis:(Measures.analysis m) (Measures.built m)
+  in
   match indices with
   | first :: second :: _ ->
       (* the two relay modes are the top Birnbaum entries: single points of
