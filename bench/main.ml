@@ -13,9 +13,12 @@
 
    Environment knobs: BENCH_POINTS (curve samples in part 1, default 15),
    BENCH_SKIP_ARTIFACTS=1 (skip part 1), BENCH_SKIP_ABLATIONS=1,
-   BENCH_SKIP_MICRO=1 (skip part 2), BENCH_JSON=<path> (dump the
-   per-artifact timings and micro-benchmark estimates as JSON — the
-   BENCH_*.json perf trajectory). *)
+   BENCH_SKIP_MICRO=1 (skip part 2), PAR_DOMAINS (domain fan-out width
+   for part 1 and the per-config series inside each artifact; default
+   Domain.recommended_domain_count, 1 = sequential), BENCH_JSON=<path>
+   (dump the per-artifact timings — with curve point counts and
+   state-space sizes — plus kernel counters and micro-benchmark
+   estimates as JSON — the BENCH_*.json perf trajectory). *)
 
 open Bechamel
 open Toolkit
@@ -30,26 +33,50 @@ let skip name = Sys.getenv_opt name = Some "1"
 (* ------------------------------------------------------------------ *)
 (* Part 1: print the reproduced artifacts *)
 
+type artifact_timing = {
+  art_id : string;
+  art_seconds : float;
+  art_points : int;  (* total curve points across the artifact's series *)
+  art_states : (string * int) list;  (* per-chain state-space sizes *)
+}
+
 let print_artifacts () =
   let points = getenv_int "BENCH_POINTS" 15 in
   Format.printf "==========================================================@.";
   Format.printf " Reproduction of the paper's tables and figures@.";
-  Format.printf " (curves sampled at %d points; BENCH_POINTS overrides)@." points;
+  Format.printf " (curves sampled at %d points; BENCH_POINTS overrides;@." points;
+  Format.printf "  artifacts fan out over %d domains, PAR_DOMAINS overrides)@."
+    (Numeric.Parallel.default_domains ());
   Format.printf "==========================================================@.@.";
+  (* generate in parallel (one artifact per worker; each worker owns its
+     chain cache and analysis sessions), render sequentially in order *)
+  let results =
+    Numeric.Parallel.map
+      (fun id ->
+        let gen =
+          match Watertreatment.Experiments.by_id id with
+          | Some gen -> gen
+          | None -> assert false
+        in
+        let t0 = Unix.gettimeofday () in
+        let artifact = gen ~points () in
+        let dt = Unix.gettimeofday () -. t0 in
+        ( {
+            art_id = id;
+            art_seconds = dt;
+            art_points = Watertreatment.Experiments.artifact_points artifact;
+            art_states = Watertreatment.Experiments.state_spaces id;
+          },
+          artifact ))
+      Watertreatment.Experiments.ids
+  in
   List.map
-    (fun id ->
-      let gen =
-        match Watertreatment.Experiments.by_id id with
-        | Some gen -> gen
-        | None -> assert false
-      in
-      let t0 = Unix.gettimeofday () in
-      let artifact = gen ~points () in
-      let dt = Unix.gettimeofday () -. t0 in
+    (fun (timing, artifact) ->
       Watertreatment.Experiments.render_artifact Format.std_formatter artifact;
-      Format.printf "  [%s generated in %.2f s]@.@." id dt;
-      (id, dt))
-    Watertreatment.Experiments.ids
+      Format.printf "  [%s generated in %.2f s]@.@." timing.art_id
+        timing.art_seconds;
+      timing)
+    results
 
 let print_ablations () =
   Format.printf "==========================================================@.";
@@ -183,6 +210,40 @@ let test_engine_transient_cached =
            ~pred:(fun _ -> true)
            100.))
 
+(* Curve kernels: the PR-1 segmented evaluation (one windowed
+   uniformization segment per point, restarting from the previous
+   distribution) against the multi-time-point kernel (one shared sweep
+   with a per-point accumulator), on the same session and time grid. *)
+
+let curve_times = grid 10 100.
+
+let test_curve_segmented =
+  Test.make ~name:"curve/segmented (line2 frf-1 transient, 10 pts)"
+    (Staged.stage (fun () ->
+         let m = Lazy.force measures_line2_frf1 in
+         let chain = (Core.Measures.built m).Core.Semantics.chain in
+         let a = Core.Measures.analysis m in
+         let _, points =
+           List.fold_left
+             (fun ((t_prev, pi_prev), acc) t ->
+               let pi =
+                 Ctmc.Transient.distribution_from ~analysis:a chain pi_prev
+                   (t -. t_prev)
+               in
+               ((t, pi), (t, pi) :: acc))
+             ((0., Ctmc.Chain.initial chain), [])
+             curve_times
+         in
+         List.rev points))
+
+let test_curve_multi =
+  Test.make ~name:"curve/multi (line2 frf-1 transient, 10 pts)"
+    (Staged.stage (fun () ->
+         let m = Lazy.force measures_line2_frf1 in
+         let chain = (Core.Measures.built m).Core.Semantics.chain in
+         Ctmc.Transient.curve ~analysis:(Core.Measures.analysis m) chain
+           ~times:curve_times))
+
 (* Ablations *)
 
 let test_ablation_prism_path =
@@ -233,8 +294,24 @@ let all_tests =
     test_table1; test_table2; test_fig3; test_fig4; test_fig5; test_fig6;
     test_fig7; test_fig8; test_fig9; test_fig10; test_fig11;
     test_engine_transient_fresh; test_engine_transient_cached;
+    test_curve_segmented; test_curve_multi;
     test_ablation_prism_path; test_ablation_lumping; test_ablation_simulation;
     test_ablation_uniformization;
+  ]
+
+(* Kernel observability: run one 10-point accumulated-cost curve on a
+   fresh Line-2 session and report the mixture counters (one pass, the
+   sweep's SpMV count) — dumped into the JSON and printed via pp_stats. *)
+let kernel_counters () =
+  let m = Core.Measures.analyze model_line2_frf1 in
+  let a = Core.Measures.analysis m in
+  ignore (Core.Measures.accumulated_cost_curve m ~times:(grid 10 50.));
+  Format.printf "kernel: 10-pt accumulated curve -> %a@."
+    Ctmc.Analysis.pp_stats a;
+  let s = Ctmc.Analysis.stats a in
+  [
+    ("mixture_passes", float_of_int s.Ctmc.Analysis.mixture_passes);
+    ("mixture_steps", float_of_int s.Ctmc.Analysis.mixture_steps);
   ]
 
 let run_micro () =
@@ -297,13 +374,43 @@ let json_timings buf key field entries =
     entries;
   Buffer.add_string buf "  ]"
 
-let write_json path ~artifacts ~ablations ~micro =
+let json_artifacts buf entries =
+  Buffer.add_string buf "  \"artifacts\": [\n";
+  List.iteri
+    (fun i a ->
+      let states =
+        String.concat ", "
+          (List.map
+             (fun (label, n) -> Printf.sprintf "{\"chain\": \"%s\", \"states\": %d}"
+                (json_escape label) n)
+             a.art_states)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"id\": \"%s\", \"seconds\": %.6f, \"points\": %d, \
+            \"state_spaces\": [%s]}%s\n"
+           (json_escape a.art_id) a.art_seconds a.art_points states
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  ]"
+
+let write_json path ~artifacts ~kernel ~ablations ~micro =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"bench_points\": %d,\n" (getenv_int "BENCH_POINTS" 15));
-  json_timings buf "artifacts" "seconds" artifacts;
+  Buffer.add_string buf
+    (Printf.sprintf "  \"par_domains\": %d,\n"
+       (Numeric.Parallel.default_domains ()));
+  json_artifacts buf artifacts;
   Buffer.add_string buf ",\n";
+  Buffer.add_string buf "  \"kernel\": {";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun (name, v) -> Printf.sprintf "\"%s\": %.0f" (json_escape name) v)
+          kernel));
+  Buffer.add_string buf "},\n";
   json_timings buf "ablations" "seconds" ablations;
   Buffer.add_string buf ",\n";
   json_timings buf "micro" "ns_per_run" micro;
@@ -318,10 +425,11 @@ let () =
   let artifacts =
     if skip "BENCH_SKIP_ARTIFACTS" then [] else print_artifacts ()
   in
+  let kernel = kernel_counters () in
   let ablations =
     if skip "BENCH_SKIP_ABLATIONS" then [] else print_ablations ()
   in
   let micro = if skip "BENCH_SKIP_MICRO" then [] else run_micro () in
   match Sys.getenv_opt "BENCH_JSON" with
-  | Some path -> write_json path ~artifacts ~ablations ~micro
+  | Some path -> write_json path ~artifacts ~kernel ~ablations ~micro
   | None -> ()

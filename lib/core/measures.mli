@@ -60,6 +60,10 @@ val reliability : t -> time:float -> float
 (** [1 - unreliability]. *)
 
 val reliability_curve : t -> times:float list -> (float * float) list
+(** All [*_curve] functions evaluate every point in one shared
+    uniformization sweep ({!Ctmc.Analysis.poisson_mixture_multi}) and
+    return points aligned 1:1 with [times]: caller order is preserved and
+    duplicates are kept. *)
 
 val availability : t -> float
 (** Long-run probability that the line is {e fully} operational (service

@@ -13,6 +13,8 @@ type counters = {
   mutable steady_hits : int;
   mutable absorbed_builds : int;
   mutable absorbed_hits : int;
+  mutable mixture_passes : int;
+  mutable mixture_steps : int;
 }
 
 type stats = {
@@ -25,6 +27,8 @@ type stats = {
   steady_hits : int;
   absorbed_builds : int;
   absorbed_hits : int;
+  mixture_passes : int;
+  mixture_steps : int;
 }
 
 type t = {
@@ -62,6 +66,8 @@ let create chain =
         steady_hits = 0;
         absorbed_builds = 0;
         absorbed_hits = 0;
+        mixture_passes = 0;
+        mixture_steps = 0;
       };
   }
 
@@ -183,50 +189,106 @@ type coeff = Pmf | Tail_over_lambda
    probabilities (Pmf: the transient mixture) or the scaled upper tails
    [P(N_{lambda t} >= k+1) / lambda] (Tail_over_lambda: the accumulated-
    reward integral). Steps below the Fox-Glynn window's left edge can have
-   zero coefficients but must still be applied. *)
-let poisson_mixture ?epsilon t ~dir ~coeff start ~time =
-  if time < 0. then invalid_arg "Analysis.poisson_mixture: negative time";
+   zero coefficients but must still be applied.
+
+   The multi-time-point variant shares the vector iteration across all
+   requested times: one sweep up to the Fox-Glynn right edge of the latest
+   time, with one accumulator and one coefficient stream per distinct
+   time. A K-point curve therefore costs one pass of SpMVs (the window of
+   t_K) instead of K windowed segments. *)
+
+(* per-distinct-time state for the shared sweep *)
+type accum = {
+  acc : Vec.t;
+  coeff_at : int -> float;
+  last : int;  (** no non-zero coefficients beyond this step index *)
+}
+
+let coefficients t ~coeff w =
+  let { Fox_glynn.left; right; weights = wts; _ } = w in
+  match coeff with
+  | Pmf ->
+      let f k = if k >= left && k <= right then wts.(k - left) else 0. in
+      (f, right)
+  | Tail_over_lambda ->
+      let lambda, _ = uniformized t in
+      let tail = Fox_glynn.cumulative_tail w in
+      let total = Fox_glynn.total_mass w in
+      let f k =
+        (* P(N >= k + 1) within the truncated window, over lambda *)
+        let k1 = k + 1 in
+        (if k1 <= left then total
+         else if k1 > right then 0.
+         else tail.(k1 - left))
+        /. lambda
+      in
+      (f, right - 1)
+
+let poisson_mixture_multi ?epsilon t ~dir ~coeff start ~times =
+  List.iter
+    (fun tm ->
+      if tm < 0. then invalid_arg "Analysis.poisson_mixture_multi: negative time")
+    times;
   if Vec.dim start <> Chain.states t.chain then
-    invalid_arg "Analysis.poisson_mixture: dimension mismatch";
-  if time = 0. then
-    match coeff with
-    | Pmf -> Vec.copy start
-    | Tail_over_lambda -> Vec.zeros (Vec.dim start)
-  else begin
-    let lambda, p = uniformized t in
-    let w = weights ?epsilon t time in
-    let { Fox_glynn.left; right; weights = wts; _ } = w in
-    let coeff_at =
-      match coeff with
-      | Pmf -> fun k -> if k >= left then wts.(k - left) else 0.
-      | Tail_over_lambda ->
-          let tail = Fox_glynn.cumulative_tail w in
-          let total = Fox_glynn.total_mass w in
-          fun k ->
-            (* P(N >= k + 1) within the truncated window, over lambda *)
-            let k1 = k + 1 in
-            (if k1 <= left then total
-             else if k1 > right then 0.
-             else tail.(k1 - left))
-            /. lambda
+    invalid_arg "Analysis.poisson_mixture_multi: dimension mismatch";
+  let n = Vec.dim start in
+  let at_zero () =
+    match coeff with Pmf -> Vec.copy start | Tail_over_lambda -> Vec.zeros n
+  in
+  let distinct = List.sort_uniq compare (List.filter (fun tm -> tm > 0.) times) in
+  let by_time = Hashtbl.create (List.length distinct + 1) in
+  if distinct <> [] then begin
+    let _, p = uniformized t in
+    let accums =
+      List.map
+        (fun tm ->
+          let coeff_at, last = coefficients t ~coeff (weights ?epsilon t tm) in
+          let a = { acc = Vec.zeros n; coeff_at; last } in
+          Hashtbl.replace by_time tm a.acc;
+          a)
+        distinct
     in
-    let n = Vec.dim start in
-    let acc = Vec.zeros n in
+    let right_max = List.fold_left (fun m a -> max m a.last) 0 accums in
+    t.counters.mixture_passes <- t.counters.mixture_passes + 1;
     let v = ref (Vec.copy start) and next = ref (Vec.zeros n) in
-    for k = 0 to right do
-      let c = coeff_at k in
-      if c <> 0. then Vec.axpy c !v acc;
-      if k < right then begin
+    for k = 0 to right_max do
+      List.iter
+        (fun a ->
+          if k <= a.last then
+            let c = a.coeff_at k in
+            if c <> 0. then Vec.axpy c !v a.acc)
+        accums;
+      if k < right_max then begin
         (match dir with
         | Forward -> Sparse.vec_mul_into !v p !next
         | Backward -> Sparse.mul_vec_into p !v !next);
+        t.counters.mixture_steps <- t.counters.mixture_steps + 1;
         let tmp = !v in
         v := !next;
         next := tmp
       end
-    done;
-    acc
-  end
+    done
+  end;
+  (* align 1:1 with the caller's list; duplicates get private copies so
+     every returned vector can be mutated independently *)
+  let handed_out = Hashtbl.create 8 in
+  List.map
+    (fun tm ->
+      if tm = 0. then at_zero ()
+      else if Hashtbl.mem handed_out tm then Vec.copy (Hashtbl.find by_time tm)
+      else begin
+        Hashtbl.add handed_out tm ();
+        Hashtbl.find by_time tm
+      end)
+    times
+
+let poisson_mixture ?epsilon t ~dir ~coeff start ~time =
+  if time < 0. then invalid_arg "Analysis.poisson_mixture: negative time";
+  if Vec.dim start <> Chain.states t.chain then
+    invalid_arg "Analysis.poisson_mixture: dimension mismatch";
+  match poisson_mixture_multi ?epsilon t ~dir ~coeff start ~times:[ time ] with
+  | [ r ] -> r
+  | _ -> assert false
 
 let stats t =
   let c = t.counters in
@@ -240,12 +302,15 @@ let stats t =
     steady_hits = c.steady_hits;
     absorbed_builds = c.absorbed_builds;
     absorbed_hits = c.absorbed_hits;
+    mixture_passes = c.mixture_passes;
+    mixture_steps = c.mixture_steps;
   }
 
 let pp_stats ppf t =
   let s = stats t in
   Format.fprintf ppf
     "analysis: unif %d built/%d hits, fg %d computed/%d hits, steady %d \
-     solved/%d hits, absorbed %d built/%d hits"
+     solved/%d hits, absorbed %d built/%d hits, mixture %d passes/%d steps"
     s.uniformized_builds s.uniformized_hits s.weight_computes s.weight_hits
     s.steady_solves s.steady_hits s.absorbed_builds s.absorbed_hits
+    s.mixture_passes s.mixture_steps

@@ -93,6 +93,26 @@ val poisson_mixture :
     ([Tail_over_lambda]). Raises [Invalid_argument] on a negative time or
     a dimension mismatch. *)
 
+val poisson_mixture_multi :
+  ?epsilon:float ->
+  t ->
+  dir:dir ->
+  coeff:coeff ->
+  Numeric.Vec.t ->
+  times:float list ->
+  Numeric.Vec.t list
+(** Multi-time-point variant of {!poisson_mixture}: evaluates the mixture
+    at every time in [times] with {e one} shared vector-iteration sweep.
+    The sweep runs to the Fox–Glynn right edge of the latest time and
+    maintains one accumulator per distinct time, so a K-point curve costs
+    roughly the SpMVs of its last point instead of K windowed segments.
+
+    The result list is aligned 1:1 with [times]: the caller's order is
+    preserved, [times] need not be sorted, and duplicates each get their
+    own (independently mutable) vector. An empty [times] yields [[]].
+    Raises [Invalid_argument] on any negative time or on a dimension
+    mismatch. *)
+
 (** {2 Instrumentation} *)
 
 type stats = {
@@ -105,11 +125,17 @@ type stats = {
   steady_hits : int;
   absorbed_builds : int;
   absorbed_hits : int;
+  mixture_passes : int;
+      (** sweeps of the shared uniformization kernel ({!poisson_mixture} /
+          {!poisson_mixture_multi} invocations that did numerical work) *)
+  mixture_steps : int;
+      (** SpMVs performed across all kernel sweeps — the observable a
+          multi-point curve saves on versus per-point segments *)
 }
 (** Cache-effectiveness counters for this session alone (sub-sessions from
     {!absorbed} keep their own). Exposed so tests can assert that repeated
     queries do not rebuild artifacts, and so the bench can report hit
-    rates. *)
+    rates and kernel work. *)
 
 val stats : t -> stats
 

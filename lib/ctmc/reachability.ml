@@ -31,10 +31,17 @@ let bounded_until_from_init ?epsilon ?analysis m ~phi ~psi ~bound =
 let bounded_until_curve ?epsilon ?analysis m ~phi ~psi ~bounds =
   let m', sub = absorb_for_until ?analysis m ~phi ~psi in
   let points = Transient.curve ?epsilon ?analysis:sub m' ~times:bounds in
+  (* evaluate psi once per state, not once per (state, point) *)
+  let psi_states =
+    let n = Chain.states m in
+    let idx = ref [] in
+    for s = n - 1 downto 0 do
+      if psi s then idx := s :: !idx
+    done;
+    Array.of_list !idx
+  in
   let mass pi =
-    let acc = ref 0. in
-    Array.iteri (fun s p -> if psi s then acc := !acc +. p) pi;
-    !acc
+    Array.fold_left (fun acc s -> acc +. pi.(s)) 0. psi_states
   in
   List.map (fun (t, pi) -> (t, mass pi)) points
 

@@ -39,8 +39,10 @@ val bounded_until_curve :
   bounds:float list ->
   (float * float) list
 (** [bounded_until_curve m ~phi ~psi ~bounds] evaluates
-    {!bounded_until_from_init} at each time bound, sharing the forward
-    uniformization run across all bounds (sorted ascending in the result). *)
+    {!bounded_until_from_init} at each time bound, sharing one forward
+    uniformization sweep across all bounds
+    ({!Analysis.poisson_mixture_multi}). The result is aligned 1:1 with
+    [bounds]: order is preserved and duplicates each yield a point. *)
 
 val interval_until :
   ?epsilon:float ->

@@ -35,26 +35,20 @@ let accumulated ?epsilon ?analysis m ~reward ~upto =
   let a = Analysis.for_chain analysis m in
   accumulated_from ?epsilon a (Chain.initial m) ~reward upto
 
+(* one Tail_over_lambda sweep with an accumulator per time point, instead
+   of the former two passes (reward integral + transient restart) per
+   segment *)
 let accumulated_curve ?epsilon ?analysis m ~reward ~times =
   check_reward m reward;
-  let a = Analysis.for_chain analysis m in
-  let sorted = List.sort_uniq compare times in
   List.iter
     (fun t -> if t < 0. then invalid_arg "Rewards.accumulated_curve: negative time")
-    sorted;
-  let _, _, result =
-    List.fold_left
-      (fun (t_prev, pi_prev, acc_points) t ->
-        let seg = accumulated_from ?epsilon a pi_prev ~reward (t -. t_prev) in
-        let total =
-          match acc_points with [] -> seg | (_, prev_total) :: _ -> prev_total +. seg
-        in
-        let pi = Transient.distribution_from ?epsilon ~analysis:a m pi_prev (t -. t_prev) in
-        (t, pi, (t, total) :: acc_points))
-      (0., Chain.initial m, [])
-      sorted
+    times;
+  let a = Analysis.for_chain analysis m in
+  let weighted =
+    Analysis.poisson_mixture_multi ?epsilon a ~dir:Analysis.Forward
+      ~coeff:Analysis.Tail_over_lambda (Chain.initial m) ~times
   in
-  List.rev result
+  List.map2 (fun t w -> (t, Vec.dot w reward)) times weighted
 
 let steady_state ?tol ?analysis m ~reward =
   check_reward m reward;

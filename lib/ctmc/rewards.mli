@@ -26,7 +26,8 @@ val instantaneous_curve :
   times:float list ->
   (float * float) list
 (** Instantaneous reward at several time points, sharing one forward
-    uniformization run. *)
+    uniformization sweep ({!Analysis.poisson_mixture_multi}). The result
+    is aligned 1:1 with [times] (order preserved, duplicates kept). *)
 
 val accumulated :
   ?epsilon:float -> ?analysis:Analysis.t -> Chain.t -> reward:structure -> upto:float -> float
@@ -41,9 +42,12 @@ val accumulated_curve :
   reward:structure ->
   times:float list ->
   (float * float) list
-(** Accumulated reward at several increasing time points; each segment
-    restarts from the transient distribution of the previous point, so the
-    whole curve costs one long run. *)
+(** Accumulated reward at several time points through one shared
+    [Tail_over_lambda] sweep with a per-point accumulator — one pass of
+    SpMVs for the whole curve, where the former segmented evaluation paid
+    two passes (reward integral + transient restart) per segment. The
+    result is aligned 1:1 with [times] (order preserved, duplicates
+    kept). *)
 
 val steady_state :
   ?tol:float -> ?analysis:Analysis.t -> Chain.t -> reward:structure -> float

@@ -16,19 +16,15 @@ let distribution ?epsilon ?analysis m t =
   distribution_from ?epsilon ?analysis m (Chain.initial m) t
 
 let curve ?epsilon ?analysis m ~times =
+  List.iter
+    (fun t -> if t < 0. then invalid_arg "Transient.curve: negative time")
+    times;
   let a = Analysis.for_chain analysis m in
-  let sorted = List.sort_uniq compare times in
-  List.iter (fun t -> if t < 0. then invalid_arg "Transient.curve: negative time") sorted;
-  let _, result =
-    List.fold_left
-      (fun (prev, acc) t ->
-        let t_prev, pi_prev = prev in
-        let pi = distribution_from ?epsilon ~analysis:a m pi_prev (t -. t_prev) in
-        ((t, pi), (t, pi) :: acc))
-      ((0., Chain.initial m), [])
-      sorted
+  let pis =
+    Analysis.poisson_mixture_multi ?epsilon a ~dir:Analysis.Forward
+      ~coeff:Analysis.Pmf (Chain.initial m) ~times
   in
-  List.rev result
+  List.map2 (fun t pi -> (t, pi)) times pis
 
 let probability_at ?epsilon ?analysis m ~pred t =
   let pi = distribution ?epsilon ?analysis m t in

@@ -29,11 +29,16 @@ val curve :
   Chain.t ->
   times:float list ->
   (float * Numeric.Vec.t) list
-(** [curve m ~times] evaluates the distribution at each time point.
-    Time points are processed in increasing order and each step reuses the
-    previous distribution ([pi(t2) = pi(t1) e^(Q (t2 - t1))]), so a curve
-    costs roughly one long uniformization run. Results are returned sorted
-    by time. *)
+(** [curve m ~times] evaluates the distribution at each time point through
+    one shared uniformization sweep ({!Analysis.poisson_mixture_multi}):
+    the vector iteration runs once to the Fox–Glynn right edge of the
+    latest time with one Poisson-weight accumulator per distinct time, so
+    a K-point curve costs roughly the SpMVs of its last point instead of K
+    windowed segments.
+
+    The result is aligned 1:1 with [times]: the caller's order is
+    preserved (no sorting), and duplicate times each yield their own
+    point. An empty [times] yields [[]]. *)
 
 val probability_at :
   ?epsilon:float ->

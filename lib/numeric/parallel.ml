@@ -1,0 +1,56 @@
+(* Hand-rolled chunked parallel map over OCaml 5 domains.
+
+   The experiment drivers fan independent per-configuration curve
+   computations out over domains. Work is split into [domains] contiguous
+   chunks, each processed by one spawned domain writing into disjoint
+   slots of a shared result array — data-race-free because no index is
+   written by two domains and the main domain only reads after joining.
+
+   Nested [map] calls run sequentially (a domain-local flag marks worker
+   context): when an already-parallel artifact generator calls a
+   parallel curve driver, the inner level must not multiply the domain
+   count. *)
+
+let default_domains () =
+  match Sys.getenv_opt "PAR_DOMAINS" with
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let map ?domains f xs =
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  let n = List.length xs in
+  if d = 1 || n <= 1 || Domain.DLS.get in_worker then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let output = Array.make n None in
+    let workers = min d n in
+    let spawn w =
+      (* chunk w covers [w*n/workers, (w+1)*n/workers) *)
+      let lo = w * n / workers and hi = (w + 1) * n / workers in
+      Domain.spawn (fun () ->
+          Domain.DLS.set in_worker true;
+          for i = lo to hi - 1 do
+            output.(i) <- Some (f input.(i))
+          done)
+    in
+    let spawned = List.init workers spawn in
+    (* join every domain before re-raising, so no worker outlives the call *)
+    let failure =
+      List.fold_left
+        (fun failure dom ->
+          match Domain.join dom with
+          | () -> failure
+          | exception e -> ( match failure with None -> Some e | some -> some))
+        None spawned
+    in
+    (match failure with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map (function Some y -> y | None -> assert false) output)
+  end
+
+let iter ?domains f xs = ignore (map ?domains (fun x -> f x) xs : unit list)

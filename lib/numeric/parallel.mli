@@ -1,0 +1,34 @@
+(** Chunked parallel map over OCaml 5 domains.
+
+    Built for the experiment drivers' fan-out: each element of the input
+    is an independent piece of work (one repair-configuration curve, one
+    artifact), and results come back in input order. The work is split
+    into at most [domains] contiguous chunks, one spawned domain each.
+
+    Results are deterministic: [map f xs] computes exactly [List.map f xs]
+    regardless of the domain count — only wall-clock time changes.
+
+    {b One session per domain:} {!Ctmc.Analysis} sessions (and anything
+    else mutably cached) must not be shared across concurrently running
+    domains. Workers must create their own sessions; see
+    [Watertreatment.Experiments] for the pattern (domain-local caches).
+
+    Nested [map] calls from inside a worker run sequentially, so
+    composing parallel drivers cannot multiply the domain count. *)
+
+val default_domains : unit -> int
+(** The domain count used when [?domains] is not given: the [PAR_DOMAINS]
+    environment variable when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. [PAR_DOMAINS=1] forces fully
+    sequential evaluation. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element, fanning the list out over at
+    most [domains] domains (default {!default_domains}; values [< 1] are
+    clamped to [1]). Falls back to plain [List.map] for a single domain,
+    lists of length [<= 1], and calls nested inside a worker. If any
+    application raises, all domains are joined and one of the raised
+    exceptions is re-raised. *)
+
+val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit
+(** [iter f xs] is [map] for side effects only. *)

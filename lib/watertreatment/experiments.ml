@@ -20,11 +20,24 @@ type table = {
 type artifact = Table of table | Figure of figure
 
 (* ------------------------------------------------------------------ *)
-(* Chain cache: (line, config, disaster) -> Measures.t *)
+(* Chain cache: (line, config, disaster) -> Measures.t.
 
-let cache : (string, Measures.t) Hashtbl.t = Hashtbl.create 16
+   The cache is domain-local (Domain.DLS): a Measures.t carries a mutable
+   Ctmc.Analysis session, which must never be shared across concurrently
+   running domains. Keeping one cache per domain means every
+   Numeric.Parallel worker builds (and then reuses, across the configs of
+   its chunk) its own sessions, while purely sequential use keeps the old
+   behaviour of one shared cache in the main domain. *)
 
-let clear_cache () = Hashtbl.reset cache
+let cache_key_dls : (string, Measures.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let reliability_cache_dls : (string, Measures.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let clear_cache () =
+  Hashtbl.reset (Domain.DLS.get cache_key_dls);
+  Hashtbl.reset (Domain.DLS.get reliability_cache_dls)
 
 let cache_key line config disaster =
   Printf.sprintf "%s/%s/%s" (Facility.line_name line)
@@ -32,6 +45,7 @@ let cache_key line config disaster =
     (match disaster with None -> "-" | Some failed -> String.concat "," failed)
 
 let measures ?disaster line config =
+  let cache = Domain.DLS.get cache_key_dls in
   let key = cache_key line config disaster in
   match Hashtbl.find_opt cache key with
   | Some m -> m
@@ -44,9 +58,8 @@ let measures ?disaster line config =
       Hashtbl.replace cache key m;
       m
 
-let reliability_cache : (string, Measures.t) Hashtbl.t = Hashtbl.create 4
-
 let reliability_measures line =
+  let reliability_cache = Domain.DLS.get reliability_cache_dls in
   let key = Facility.line_name line in
   match Hashtbl.find_opt reliability_cache key with
   | Some m -> m
@@ -64,12 +77,17 @@ let grid ?(from = 0.) upto points =
 
 let lines = [ Facility.Line1; Facility.Line2 ]
 
+(* Per-config (and per-line) fan-out: each element is an independent
+   chain, so workers never touch the same analysis session (the caches
+   above are domain-local). PAR_DOMAINS governs the width. *)
+let parallel_map f xs = Numeric.Parallel.map f xs
+
 (* ------------------------------------------------------------------ *)
 (* Tables *)
 
 let table1 () =
   let rows =
-    List.map
+    parallel_map
       (fun config ->
         Facility.config_name config
         :: List.concat_map
@@ -92,7 +110,7 @@ let table1 () =
 
 let table2 () =
   let rows =
-    List.map
+    parallel_map
       (fun config ->
         let avail line = Measures.availability (measures line config) in
         let a1 = avail Facility.Line1 and a2 = avail Facility.Line2 in
@@ -119,7 +137,7 @@ let default_points = 25
 let fig3 ?(points = default_points) () =
   let times = grid 1000. points in
   let series =
-    List.map
+    parallel_map
       (fun line ->
         let m = reliability_measures line in
         {
@@ -140,7 +158,7 @@ let fig3 ?(points = default_points) () =
 let survivability_fig ~fig_id ~title ~line ~disaster ~configs ~level ~horizon ~points =
   let times = grid horizon points in
   let series =
-    List.map
+    parallel_map
       (fun config ->
         let m = measures ?disaster line config in
         {
@@ -154,7 +172,7 @@ let survivability_fig ~fig_id ~title ~line ~disaster ~configs ~level ~horizon ~p
 let cost_fig ~fig_id ~title ~kind ~line ~disaster ~configs ~horizon ~points =
   let times = grid horizon points in
   let series =
-    List.map
+    parallel_map
       (fun config ->
         let m = measures ?disaster line config in
         let points =
@@ -256,6 +274,43 @@ let ids = List.map fst generators
 let by_id id = List.assoc_opt id generators
 
 let all ?points () = List.map (fun (_, gen) -> gen ?points ()) generators
+
+(* ------------------------------------------------------------------ *)
+(* Artifact metadata (bench JSON observability) *)
+
+let artifact_points = function
+  | Table _ -> 0
+  | Figure f ->
+      List.fold_left (fun acc s -> acc + List.length s.points) 0 f.series
+
+let state_spaces id =
+  let states m = Ctmc.Chain.states (Measures.built m).Semantics.chain in
+  let repairable ~disaster line configs =
+    List.map
+      (fun config ->
+        ( Printf.sprintf "%s/%s" (Facility.line_name line)
+            (Facility.config_name config),
+          states (measures ?disaster line config) ))
+      configs
+  in
+  match id with
+  | "table1" | "table2" ->
+      List.concat_map
+        (fun line -> repairable ~disaster:None line Facility.paper_configs)
+        lines
+  | "fig3" ->
+      List.map
+        (fun line ->
+          ( Facility.line_name line ^ "/reliability",
+            states (reliability_measures line) ))
+        lines
+  | "fig4" | "fig5" | "fig6" | "fig7" ->
+      repairable ~disaster:disaster1_line1 Facility.Line1 d1_configs
+  | "fig8" | "fig9" ->
+      repairable ~disaster:disaster2_line2 Facility.Line2 d2_surv_configs
+  | "fig10" | "fig11" ->
+      repairable ~disaster:disaster2_line2 Facility.Line2 d2_cost_configs
+  | _ -> []
 
 (* ------------------------------------------------------------------ *)
 (* Rendering *)

@@ -16,7 +16,18 @@
 
     Chains are built once per (line, strategy, disaster) and shared across
     figures through an internal cache, so generating the full set costs a
-    handful of state-space constructions. *)
+    handful of state-space constructions.
+
+    Figure series (one per repair configuration) and table rows are
+    computed through {!Numeric.Parallel.map}: independent chains fan out
+    over domains, with the width controlled by the [PAR_DOMAINS]
+    environment variable (default
+    [Domain.recommended_domain_count ()]; [PAR_DOMAINS=1] is fully
+    sequential). The chain cache is {e domain-local}, because a
+    {!Core.Measures.t} carries a mutable {!Ctmc.Analysis} session that
+    must never be shared across concurrently running domains — every
+    worker builds and reuses its own sessions. Results are deterministic
+    and identical for any domain count. *)
 
 type series = { label : string; points : (float * float) list }
 
@@ -80,5 +91,17 @@ val render_artifact : Format.formatter -> artifact -> unit
 val figure_to_csv : figure -> string
 (** Wide CSV: one [time] column plus one column per series. *)
 
+val artifact_points : artifact -> int
+(** Total number of curve points across an artifact's series (0 for
+    tables) — recorded next to the timings in the bench JSON. *)
+
+val state_spaces : string -> (string * int) list
+(** [state_spaces id] is the state-space size of every chain behind the
+    artifact [id] (one [("line/config", states)] pair per chain), [[]] for
+    unknown ids. Chains are taken from — or built into — the calling
+    domain's cache, so calling this right after generating [id] in the
+    same domain is free. *)
+
 val clear_cache : unit -> unit
-(** Drop memoized chains (used by benchmarks to measure cold times). *)
+(** Drop memoized chains (used by benchmarks to measure cold times).
+    Clears the {e calling domain's} cache only. *)

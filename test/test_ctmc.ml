@@ -699,6 +699,112 @@ let test_analysis_wrong_chain_ignored () =
   let s = Analysis.stats a in
   Alcotest.(check int) "foreign session untouched" 0 s.Analysis.uniformized_builds
 
+(* ------------------------------------------------------------------ *)
+(* The multi-time-point kernel: one shared sweep must match per-point
+   evaluation, preserve the caller's times 1:1, and actually save SpMVs *)
+
+let multi_times = [ 0.4; 1.1; 2.6; 5.; 9.3 ]
+
+let test_multi_kernel_matches_single () =
+  let m = analysis_chain () in
+  let a = Analysis.create m in
+  let start = Chain.initial m in
+  List.iter
+    (fun (dir, coeff, label) ->
+      let multi =
+        Analysis.poisson_mixture_multi a ~dir ~coeff start ~times:multi_times
+      in
+      List.iter2
+        (fun t v ->
+          check_vec
+            (Printf.sprintf "%s t=%g" label t)
+            (Analysis.poisson_mixture a ~dir ~coeff start ~time:t)
+            v)
+        multi_times multi)
+    [
+      (Analysis.Forward, Analysis.Pmf, "forward pmf");
+      (Analysis.Backward, Analysis.Pmf, "backward pmf");
+      (Analysis.Forward, Analysis.Tail_over_lambda, "forward tail");
+    ]
+
+let test_multi_kernel_times_contract () =
+  let m = analysis_chain () in
+  let a = Analysis.create m in
+  let start = Chain.initial m in
+  let run times =
+    Analysis.poisson_mixture_multi a ~dir:Analysis.Forward ~coeff:Analysis.Pmf
+      start ~times
+  in
+  Alcotest.(check int) "empty times" 0 (List.length (run []));
+  (* unsorted input: results aligned with the caller's order *)
+  let unsorted = [ 2.6; 0.4; 9.3 ] in
+  List.iter2
+    (fun t v ->
+      check_vec
+        (Printf.sprintf "unsorted t=%g" t)
+        (Transient.distribution m t) v)
+    unsorted (run unsorted);
+  (* duplicates: every occurrence gets its own independent vector *)
+  (match run [ 1.1; 1.1 ] with
+  | [ v1; v2 ] ->
+      check_vec "duplicates agree" v1 v2;
+      Alcotest.(check bool) "duplicates are distinct vectors" false (v1 == v2);
+      v1.(0) <- 42.;
+      check_close "mutating one leaves the other" (Transient.distribution m 1.1).(0)
+        v2.(0)
+  | _ -> Alcotest.fail "expected two points");
+  (* time zero inside a list *)
+  (match run [ 0.; 1.1 ] with
+  | [ v0; _ ] -> check_vec "t=0 is the start vector" start v0
+  | _ -> Alcotest.fail "expected two points");
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Analysis.poisson_mixture_multi: negative time") (fun () ->
+      ignore (run [ 1.; -2. ]))
+
+let test_multi_kernel_counters () =
+  let m = analysis_chain () in
+  let a = Analysis.create m in
+  let start = Chain.initial m in
+  ignore
+    (Analysis.poisson_mixture_multi a ~dir:Analysis.Forward ~coeff:Analysis.Pmf
+       start ~times:multi_times);
+  let s_multi = Analysis.stats a in
+  Alcotest.(check int) "one pass for the whole curve" 1
+    s_multi.Analysis.mixture_passes;
+  let b = Analysis.create m in
+  List.iter
+    (fun t ->
+      ignore
+        (Analysis.poisson_mixture b ~dir:Analysis.Forward ~coeff:Analysis.Pmf
+           start ~time:t))
+    multi_times;
+  let s_seq = Analysis.stats b in
+  Alcotest.(check int) "one pass per point" (List.length multi_times)
+    s_seq.Analysis.mixture_passes;
+  Alcotest.(check bool) "multi does fewer SpMVs" true
+    (s_multi.Analysis.mixture_steps < s_seq.Analysis.mixture_steps)
+
+let test_curve_preserves_times () =
+  let m = two_state 1.5 0.5 in
+  let times = [ 3.; 0.5; 3.; 0. ] in
+  let curve = Transient.curve m ~times in
+  Alcotest.(check (list (float 0.)))
+    "times preserved 1:1 (order and duplicates)" times (List.map fst curve);
+  let reward = [| 1.; 4. |] in
+  Alcotest.(check (list (float 0.)))
+    "instantaneous curve aligned" times
+    (List.map fst (Rewards.instantaneous_curve m ~reward ~times));
+  Alcotest.(check (list (float 0.)))
+    "accumulated curve aligned" times
+    (List.map fst (Rewards.accumulated_curve m ~reward ~times));
+  Alcotest.(check (list (float 0.)))
+    "bounded-until curve aligned" times
+    (List.map fst
+       (Reachability.bounded_until_curve m
+          ~phi:(fun _ -> true)
+          ~psi:(fun s -> s = 1)
+          ~bounds:times))
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -799,6 +905,17 @@ let () =
             test_analysis_absorbed_cache;
           Alcotest.test_case "foreign session ignored" `Quick
             test_analysis_wrong_chain_ignored;
+        ] );
+      ( "multi-kernel",
+        [
+          Alcotest.test_case "matches single-point kernel" `Quick
+            test_multi_kernel_matches_single;
+          Alcotest.test_case "times contract" `Quick
+            test_multi_kernel_times_contract;
+          Alcotest.test_case "pass/step counters" `Quick
+            test_multi_kernel_counters;
+          Alcotest.test_case "curves preserve times" `Quick
+            test_curve_preserves_times;
         ] );
       ( "lumping",
         [

@@ -7,6 +7,7 @@ module Fox_glynn = Numeric.Fox_glynn
 module Solver = Numeric.Solver
 module Digraph = Numeric.Digraph
 module Rng = Numeric.Rng
+module Parallel = Numeric.Parallel
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -437,6 +438,63 @@ let test_rng_int_bounds () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Parallel *)
+
+let test_parallel_deterministic () =
+  (* identical results for 1 vs. N domains, on work big enough that
+     domains genuinely interleave *)
+  let xs = List.init 40 (fun i -> i) in
+  let f i =
+    let acc = ref 0. in
+    for k = 1 to 1000 do
+      acc := !acc +. (float_of_int (i + k) ** 0.5)
+    done;
+    !acc
+  in
+  let seq = Parallel.map ~domains:1 f xs in
+  List.iter
+    (fun d ->
+      Alcotest.(check (list (float 0.)))
+        (Printf.sprintf "%d domains = sequential" d)
+        seq
+        (Parallel.map ~domains:d f xs))
+    [ 2; 3; 8; 64 ]
+
+let test_parallel_order () =
+  let xs = [ "c"; "a"; "d"; "b" ] in
+  Alcotest.(check (list string))
+    "input order preserved" [ "c!"; "a!"; "d!"; "b!" ]
+    (Parallel.map ~domains:3 (fun s -> s ^ "!") xs)
+
+let test_parallel_edges () =
+  Alcotest.(check (list int)) "empty list" [] (Parallel.map ~domains:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 8 ] (Parallel.map ~domains:4 succ [ 7 ]);
+  Alcotest.(check (list int))
+    "more domains than elements" [ 1; 2 ]
+    (Parallel.map ~domains:16 succ [ 0; 1 ]);
+  Alcotest.(check (list int))
+    "domains < 1 clamped" [ 1; 2; 3 ]
+    (Parallel.map ~domains:0 succ [ 0; 1; 2 ])
+
+let test_parallel_exception () =
+  Alcotest.check_raises "worker exception re-raised" (Failure "boom") (fun () ->
+      ignore
+        (Parallel.map ~domains:3
+           (fun i -> if i = 4 then failwith "boom" else i)
+           (List.init 8 (fun i -> i))))
+
+let test_parallel_nested () =
+  (* inner maps inside a worker must not spawn more domains, and the
+     composed result must still be correct *)
+  let result =
+    Parallel.map ~domains:2
+      (fun i -> Parallel.map ~domains:4 (fun j -> (10 * i) + j) [ 1; 2 ])
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested results" [ [ 11; 12 ]; [ 21; 22 ]; [ 31; 32 ] ] result
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -505,5 +563,16 @@ let () =
           Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
           Alcotest.test_case "weighted choice" `Quick test_rng_choose_weighted;
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "deterministic across domain counts" `Quick
+            test_parallel_deterministic;
+          Alcotest.test_case "order preserved" `Quick test_parallel_order;
+          Alcotest.test_case "edge cases" `Quick test_parallel_edges;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_parallel_exception;
+          Alcotest.test_case "nested map is sequential" `Quick
+            test_parallel_nested;
         ] );
     ]

@@ -502,6 +502,77 @@ let test_ablation_erlang_repair () =
   Alcotest.(check bool) "availability close" true
     (Float.abs (col 2 rows.(1) -. col 2 rows.(0)) < 1e-3)
 
+(* ------------------------------------------------------------------ *)
+(* Multi-point curve kernel: on the paper's own figure configurations, a
+   curve from the shared one-sweep kernel must match sequential per-point
+   queries (bounded until / instantaneous / accumulated) to 1e-9 *)
+
+let equiv_times upto = List.init 4 (fun i -> upto *. float_of_int (i + 1) /. 4.)
+
+let check_curve label times curve pointwise =
+  List.iter2
+    (fun t (t', v) ->
+      check_close ~eps:1e-12 (Printf.sprintf "%s time %g" label t) t t';
+      check_close ~eps:1e-9 (Printf.sprintf "%s(%g)" label t) (pointwise t) v)
+    times curve
+
+let test_fig3_curve_matches_pointwise () =
+  List.iter
+    (fun line ->
+      let m = Measures.analyze (Facility.reliability_model line) in
+      let times = equiv_times 1000. in
+      check_curve
+        ("reliability " ^ Facility.line_name line)
+        times
+        (Measures.reliability_curve m ~times)
+        (fun t -> Measures.reliability m ~time:t))
+    [ Facility.Line1; Facility.Line2 ]
+
+let d1_equiv_configs = [ Facility.ded; Facility.frf 1; Facility.frf 2 ]
+
+let test_fig4_curve_matches_pointwise () =
+  let times = equiv_times 4.5 in
+  let level = 1. /. 3. in
+  List.iter
+    (fun config ->
+      let m =
+        analyze ~disaster:(Facility.disaster1 Facility.Line1) Facility.Line1 config
+      in
+      check_curve
+        ("survivability " ^ Facility.config_name config)
+        times
+        (Measures.survivability_curve m ~service_level:level ~times)
+        (fun t -> Measures.survivability m ~service_level:level ~time:t))
+    d1_equiv_configs
+
+let test_fig6_curve_matches_pointwise () =
+  let times = equiv_times 4.5 in
+  List.iter
+    (fun config ->
+      let m =
+        analyze ~disaster:(Facility.disaster1 Facility.Line1) Facility.Line1 config
+      in
+      check_curve
+        ("instantaneous cost " ^ Facility.config_name config)
+        times
+        (Measures.instantaneous_cost_curve m ~times)
+        (fun t -> Measures.instantaneous_cost m ~time:t))
+    d1_equiv_configs
+
+let test_fig7_curve_matches_pointwise () =
+  let times = equiv_times 10. in
+  List.iter
+    (fun config ->
+      let m =
+        analyze ~disaster:(Facility.disaster1 Facility.Line1) Facility.Line1 config
+      in
+      check_curve
+        ("accumulated cost " ^ Facility.config_name config)
+        times
+        (Measures.accumulated_cost_curve m ~times)
+        (fun t -> Measures.accumulated_cost m ~time:t))
+    d1_equiv_configs
+
 let test_ablation_importance () =
   let table = Ablations.importance_table Facility.Line2 in
   (* the reservoir must rank first by Birnbaum importance *)
@@ -560,6 +631,17 @@ let () =
         [
           Alcotest.test_case "initial cost" `Slow test_fig10_initial_cost;
           Alcotest.test_case "fff-1 most expensive" `Slow test_fig11_fff1_most_expensive;
+        ] );
+      ( "multi-kernel",
+        [
+          Alcotest.test_case "fig3 curve = pointwise" `Quick
+            test_fig3_curve_matches_pointwise;
+          Alcotest.test_case "fig4 curve = pointwise" `Slow
+            test_fig4_curve_matches_pointwise;
+          Alcotest.test_case "fig6 curve = pointwise" `Slow
+            test_fig6_curve_matches_pointwise;
+          Alcotest.test_case "fig7 curve = pointwise" `Slow
+            test_fig7_curve_matches_pointwise;
         ] );
       ( "cross-validation",
         [
