@@ -111,6 +111,9 @@ let model_line2_frf1 = Watertreatment.Facility.line_model line2 frf1
 
 let measures_line2_frf1 = lazy (Core.Measures.analyze model_line2_frf1)
 
+let measures_line2_frf1_lump =
+  lazy (Core.Measures.analyze ~lump:true model_line2_frf1)
+
 let measures_line2_ded =
   lazy
     (Core.Measures.analyze
@@ -210,6 +213,22 @@ let test_engine_transient_cached =
            ~pred:(fun _ -> true)
            100.))
 
+(* Full vs quotient: the same bounded-until measure (unreliability at
+   t=100) on the full FRF-1 chain and through the lumping quotient
+   (Analysis.quotient, cached in the session after the first call). *)
+
+let test_engine_until_full =
+  Test.make ~name:"engine/bounded-until, full chain (line2 frf-1, t=100)"
+    (Staged.stage (fun () ->
+         Core.Measures.unreliability (Lazy.force measures_line2_frf1) ~time:100.))
+
+let test_engine_until_quotient =
+  Test.make ~name:"engine/bounded-until, quotient (line2 frf-1, t=100)"
+    (Staged.stage (fun () ->
+         Core.Measures.unreliability
+           (Lazy.force measures_line2_frf1_lump)
+           ~time:100.))
+
 (* Curve kernels: the PR-1 segmented evaluation (one windowed
    uniformization segment per point, restarting from the previous
    distribution) against the multi-time-point kernel (one shared sweep
@@ -294,6 +313,7 @@ let all_tests =
     test_table1; test_table2; test_fig3; test_fig4; test_fig5; test_fig6;
     test_fig7; test_fig8; test_fig9; test_fig10; test_fig11;
     test_engine_transient_fresh; test_engine_transient_cached;
+    test_engine_until_full; test_engine_until_quotient;
     test_curve_segmented; test_curve_multi;
     test_ablation_prism_path; test_ablation_lumping; test_ablation_simulation;
     test_ablation_uniformization;
@@ -301,7 +321,9 @@ let all_tests =
 
 (* Kernel observability: run one 10-point accumulated-cost curve on a
    fresh Line-2 session and report the mixture counters (one pass, the
-   sweep's SpMV count) — dumped into the JSON and printed via pp_stats. *)
+   sweep's SpMV count), then one quotient-backed availability on the same
+   FRF-1 model and report the lumping counters — dumped into the JSON and
+   printed via pp_stats. *)
 let kernel_counters () =
   let m = Core.Measures.analyze model_line2_frf1 in
   let a = Core.Measures.analysis m in
@@ -309,9 +331,23 @@ let kernel_counters () =
   Format.printf "kernel: 10-pt accumulated curve -> %a@."
     Ctmc.Analysis.pp_stats a;
   let s = Ctmc.Analysis.stats a in
+  let ml = Core.Measures.analyze ~lump:true model_line2_frf1 in
+  let al = Core.Measures.analysis ml in
+  ignore (Core.Measures.availability ml);
+  ignore (Core.Measures.availability ml);
+  Format.printf "kernel: quotient availability x2 -> %a@."
+    Ctmc.Analysis.pp_stats al;
+  let sl = Ctmc.Analysis.stats al in
+  let states =
+    Ctmc.Chain.states (Core.Measures.built ml).Core.Semantics.chain
+  in
   [
     ("mixture_passes", float_of_int s.Ctmc.Analysis.mixture_passes);
     ("mixture_steps", float_of_int s.Ctmc.Analysis.mixture_steps);
+    ("states", float_of_int states);
+    ("lump_builds", float_of_int sl.Ctmc.Analysis.lump_builds);
+    ("lump_hits", float_of_int sl.Ctmc.Analysis.lump_hits);
+    ("lumped_states", float_of_int sl.Ctmc.Analysis.lumped_states);
   ]
 
 let run_micro () =

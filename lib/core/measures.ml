@@ -4,6 +4,7 @@ type t = {
   built : Semantics.built;
   analysis : Ctmc.Analysis.t;
   csl : Csl.Checker.model;
+  lump : bool;
 }
 
 let level_label_name levels x =
@@ -13,7 +14,7 @@ let level_label_name levels x =
   in
   Printf.sprintf "sl_ge_%d" (position 0 levels)
 
-let make_csl_model ~analysis built =
+let make_csl_model ~analysis ~lump built =
   let levels = Model.service_levels built.Semantics.model in
   let model = built.Semantics.model in
   let component_labels =
@@ -48,19 +49,19 @@ let make_csl_model ~analysis built =
       (Some "repair_cost", Semantics.repair_cost_structure built);
     ]
   in
-  Csl.Checker.of_chain ~analysis ~labels ~rewards built.Semantics.chain
+  Csl.Checker.of_chain ~analysis ~lump ~labels ~rewards built.Semantics.chain
 
-let wrap built =
+let wrap ?(lump = false) built =
   (* one session per state space: every measure below, and every CSL query
      through {!to_csl_model}, shares its cached uniformized matrix,
      Fox-Glynn weights, absorbed chains and steady-state vector *)
   let analysis = Ctmc.Analysis.create built.Semantics.chain in
-  { built; analysis; csl = make_csl_model ~analysis built }
+  { built; analysis; csl = make_csl_model ~analysis ~lump built; lump }
 
-let analyze ?max_states ?initial model =
-  wrap (Semantics.build ?max_states ?initial model)
+let analyze ?max_states ?initial ?lump model =
+  wrap ?lump (Semantics.build ?max_states ?initial model)
 
-let analyze_mixed_disasters ?max_states model disasters =
+let analyze_mixed_disasters ?max_states ?lump model disasters =
   if disasters = [] then invalid_arg "Measures.analyze_mixed_disasters: empty mixture";
   let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. disasters in
   if total <= 0. then
@@ -83,7 +84,7 @@ let analyze_mixed_disasters ?max_states model disasters =
             "Measures.analyze_mixed_disasters: disaster state unreachable \
              from the heaviest disaster")
     states;
-  wrap { built with Semantics.chain = Ctmc.Chain.with_init chain init }
+  wrap ?lump { built with Semantics.chain = Ctmc.Chain.with_init chain init }
 
 let built t = t.built
 
@@ -112,7 +113,8 @@ let not_fully_operational t =
   fun s -> not (full s)
 
 let unreliability t ~time =
-  Ctmc.Reachability.bounded_until_from_init ~analysis:t.analysis (chain t)
+  Ctmc.Reachability.bounded_until_from_init ~lump:t.lump ~analysis:t.analysis
+    (chain t)
     ~phi:(fun _ -> true)
     ~psi:(not_fully_operational t) ~bound:time
 
@@ -120,22 +122,25 @@ let reliability t ~time = 1. -. unreliability t ~time
 
 let reliability_curve t ~times =
   let points =
-    Ctmc.Reachability.bounded_until_curve ~analysis:t.analysis (chain t)
+    Ctmc.Reachability.bounded_until_curve ~lump:t.lump ~analysis:t.analysis
+      (chain t)
       ~phi:(fun _ -> true)
       ~psi:(not_fully_operational t) ~bounds:times
   in
   List.map (fun (time, p) -> (time, 1. -. p)) points
 
 let availability t =
-  Ctmc.Steady_state.long_run_probability ~analysis:t.analysis (chain t)
+  Ctmc.Steady_state.long_run_probability ~lump:t.lump ~analysis:t.analysis
+    (chain t)
     ~pred:(Semantics.service_at_least t.built 1.)
 
 let any_service_availability t =
-  Ctmc.Steady_state.long_run_probability ~analysis:t.analysis (chain t)
+  Ctmc.Steady_state.long_run_probability ~lump:t.lump ~analysis:t.analysis
+    (chain t)
     ~pred:(Semantics.operational_pred t.built)
 
 let instantaneous_availability t ~time =
-  Ctmc.Transient.probability_at ~analysis:t.analysis (chain t)
+  Ctmc.Transient.probability_at ~lump:t.lump ~analysis:t.analysis (chain t)
     ~pred:(Semantics.service_at_least t.built 1.)
     time
 
@@ -148,13 +153,15 @@ let mean_time_to_service_loss t =
     ~psi:(Semantics.down_pred t.built)
 
 let survivability t ~service_level ~time =
-  Ctmc.Reachability.bounded_until_from_init ~analysis:t.analysis (chain t)
+  Ctmc.Reachability.bounded_until_from_init ~lump:t.lump ~analysis:t.analysis
+    (chain t)
     ~phi:(fun _ -> true)
     ~psi:(Semantics.service_at_least t.built service_level)
     ~bound:time
 
 let survivability_curve t ~service_level ~times =
-  Ctmc.Reachability.bounded_until_curve ~analysis:t.analysis (chain t)
+  Ctmc.Reachability.bounded_until_curve ~lump:t.lump ~analysis:t.analysis
+    (chain t)
     ~phi:(fun _ -> true)
     ~psi:(Semantics.service_at_least t.built service_level)
     ~bounds:times
@@ -194,27 +201,27 @@ let most_likely_degradation_scenario t = describe_scenario t (not_fully_operatio
 let most_likely_loss_scenario t = describe_scenario t (Semantics.down_pred t.built)
 
 let instantaneous_cost t ~time =
-  Ctmc.Rewards.instantaneous ~analysis:t.analysis (chain t)
+  Ctmc.Rewards.instantaneous ~lump:t.lump ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
     ~at:time
 
 let accumulated_cost t ~time =
-  Ctmc.Rewards.accumulated ~analysis:t.analysis (chain t)
+  Ctmc.Rewards.accumulated ~lump:t.lump ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
     ~upto:time
 
 let instantaneous_cost_curve t ~times =
-  Ctmc.Rewards.instantaneous_curve ~analysis:t.analysis (chain t)
+  Ctmc.Rewards.instantaneous_curve ~lump:t.lump ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
     ~times
 
 let accumulated_cost_curve t ~times =
-  Ctmc.Rewards.accumulated_curve ~analysis:t.analysis (chain t)
+  Ctmc.Rewards.accumulated_curve ~lump:t.lump ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
     ~times
 
 let steady_state_cost t =
-  Ctmc.Rewards.steady_state ~analysis:t.analysis (chain t)
+  Ctmc.Rewards.steady_state ~lump:t.lump ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
 
 let combined_availability avails =

@@ -13,14 +13,21 @@ type t = {
           model): uniformized matrix, Fox–Glynn weights, absorbed chains
           and the steady-state vector are each computed at most once *)
   csl : Csl.Checker.model;
+  lump : bool;
+      (** when true, every measure runs its vector iterations on cached
+          lumping quotients ({!Ctmc.Analysis.quotient}) that respect the
+          measure's predicate/reward — exact, and faster on lumpable
+          models *)
 }
 
-val analyze : ?max_states:int -> ?initial:Semantics.state -> Model.t -> t
+val analyze :
+  ?max_states:int -> ?initial:Semantics.state -> ?lump:bool -> Model.t -> t
 (** Build the state space — and one cached {!Ctmc.Analysis} session over
-    it — once; all measures below reuse both. *)
+    it — once; all measures below reuse both. [lump] (default [false])
+    turns on quotient-based evaluation for every measure. *)
 
 val analyze_mixed_disasters :
-  ?max_states:int -> Model.t -> (float * string list) list -> t
+  ?max_states:int -> ?lump:bool -> Model.t -> (float * string list) list -> t
 (** GOOD analysis under an uncertain disaster: each [(weight, failed)] pair
     contributes a disaster state with the given probability (weights are
     normalized). Survivability and cost measures then average over the

@@ -15,9 +15,15 @@ type model = {
   atomic : Prism.Ast.expr -> (int -> bool) option;
       (** resolve an atomic expression over state variables *)
   reward : string option -> Numeric.Vec.t option;  (** resolve a reward structure *)
+  lump : bool;
+      (** when true, bounded-until, steady-state and reward queries run
+          their vector iterations on cached lumping quotients
+          ({!Ctmc.Analysis.quotient}) that respect the query's
+          predicates/rewards — exact, and faster on lumpable models *)
 }
 
-val of_built : ?analysis:Ctmc.Analysis.t -> Prism.Builder.built -> model
+val of_built :
+  ?analysis:Ctmc.Analysis.t -> ?lump:bool -> Prism.Builder.built -> model
 (** Wrap a built PRISM model: labels, variables and reward structures
     resolve to what the model defines. [analysis] injects an existing
     session for the model's chain (it is used only if it wraps exactly that
@@ -25,6 +31,7 @@ val of_built : ?analysis:Ctmc.Analysis.t -> Prism.Builder.built -> model
 
 val of_chain :
   ?analysis:Ctmc.Analysis.t ->
+  ?lump:bool ->
   ?labels:(string * (int -> bool)) list ->
   ?rewards:(string option * Numeric.Vec.t) list ->
   Ctmc.Chain.t ->

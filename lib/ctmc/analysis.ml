@@ -13,8 +13,12 @@ type counters = {
   mutable steady_hits : int;
   mutable absorbed_builds : int;
   mutable absorbed_hits : int;
+  mutable absorbed_collisions : int;
   mutable mixture_passes : int;
   mutable mixture_steps : int;
+  mutable lump_builds : int;
+  mutable lump_hits : int;
+  mutable lumped_states : int;
 }
 
 type stats = {
@@ -27,8 +31,12 @@ type stats = {
   steady_hits : int;
   absorbed_builds : int;
   absorbed_hits : int;
+  absorbed_collisions : int;
   mixture_passes : int;
   mixture_steps : int;
+  lump_builds : int;
+  lump_hits : int;
+  lumped_states : int;
 }
 
 type t = {
@@ -40,9 +48,17 @@ type t = {
   mutable bscc : int list array option;
   weight_tbl : (float * float, Fox_glynn.t) Hashtbl.t;
   steady_tbl : (float, Vec.t) Hashtbl.t;
-  absorbed_tbl : (string, t) Hashtbl.t;
+  absorbed_named : (string, t) Hashtbl.t;
+  (* unnamed absorbed chains, keyed by an FNV-1a hash of the predicate's
+     bitmap over the state space; each bucket entry keeps the full bitmap
+     only to verify the hit (and to detect hash collisions) *)
+  absorbed_pred : (int64, (string * t) list) Hashtbl.t;
+  (* lumping quotients, keyed the same way by the dense initial partition *)
+  quot_tbl : (int64, (int array * quotient) list) Hashtbl.t;
   counters : counters;
 }
+
+and quotient = { lumping : Lumping.result; q : t }
 
 let create chain =
   {
@@ -54,7 +70,9 @@ let create chain =
     bscc = None;
     weight_tbl = Hashtbl.create 16;
     steady_tbl = Hashtbl.create 4;
-    absorbed_tbl = Hashtbl.create 8;
+    absorbed_named = Hashtbl.create 8;
+    absorbed_pred = Hashtbl.create 8;
+    quot_tbl = Hashtbl.create 4;
     counters =
       {
         uniformized_builds = 0;
@@ -66,8 +84,12 @@ let create chain =
         steady_hits = 0;
         absorbed_builds = 0;
         absorbed_hits = 0;
+        absorbed_collisions = 0;
         mixture_passes = 0;
         mixture_steps = 0;
+        lump_builds = 0;
+        lump_hits = 0;
+        lumped_states = 0;
       };
   }
 
@@ -152,28 +174,147 @@ let cached_steady t ~tol compute =
       Hashtbl.replace t.steady_tbl tol (Vec.copy pi);
       pi
 
-let pred_key pred n =
+(* FNV-1a, 64 bit: cheap streaming hash for predicate bitmaps and
+   partition arrays, so unnamed-predicate cache keys cost O(1) storage
+   per lookup instead of an O(n) string each time. *)
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_int h i =
+  let h = fnv_byte h i in
+  let h = fnv_byte h (i lsr 8) in
+  let h = fnv_byte h (i lsr 16) in
+  fnv_byte h (i lsr 24)
+
+let pred_hash pred n =
+  let h = ref fnv_offset in
+  for s = 0 to n - 1 do
+    h := fnv_byte !h (if pred s then 1 else 0)
+  done;
+  !h
+
+let pred_bitmap pred n =
   let b = Bytes.create n in
   for s = 0 to n - 1 do
     Bytes.unsafe_set b s (if pred s then '1' else '0')
   done;
   Bytes.unsafe_to_string b
 
-let absorbed ?name t ~pred =
-  let key =
-    match name with
-    | Some n -> "@" ^ n
-    | None -> "#" ^ pred_key pred (Chain.states t.chain)
+(* compare a stored bitmap against the predicate without re-allocating *)
+let pred_matches bitmap pred n =
+  String.length bitmap = n
+  &&
+  let rec go s =
+    s >= n || (String.unsafe_get bitmap s = (if pred s then '1' else '0')) && go (s + 1)
   in
-  match Hashtbl.find_opt t.absorbed_tbl key with
-  | Some sub ->
-      t.counters.absorbed_hits <- t.counters.absorbed_hits + 1;
-      sub
+  go 0
+
+let absorbed ?name t ~pred =
+  match name with
+  | Some nm -> (
+      match Hashtbl.find_opt t.absorbed_named nm with
+      | Some sub ->
+          t.counters.absorbed_hits <- t.counters.absorbed_hits + 1;
+          sub
+      | None ->
+          let sub = create (Chain.absorbing t.chain ~pred) in
+          t.counters.absorbed_builds <- t.counters.absorbed_builds + 1;
+          Hashtbl.replace t.absorbed_named nm sub;
+          sub)
+  | None -> (
+      let n = Chain.states t.chain in
+      let h = pred_hash pred n in
+      let bucket =
+        match Hashtbl.find_opt t.absorbed_pred h with Some l -> l | None -> []
+      in
+      match
+        List.find_opt (fun (bitmap, _) -> pred_matches bitmap pred n) bucket
+      with
+      | Some (_, sub) ->
+          t.counters.absorbed_hits <- t.counters.absorbed_hits + 1;
+          sub
+      | None ->
+          if bucket <> [] then
+            t.counters.absorbed_collisions <-
+              t.counters.absorbed_collisions + 1;
+          let sub = create (Chain.absorbing t.chain ~pred) in
+          t.counters.absorbed_builds <- t.counters.absorbed_builds + 1;
+          Hashtbl.replace t.absorbed_pred h
+            ((pred_bitmap pred n, sub) :: bucket);
+          sub)
+
+(* ------------------------------------------------------------------ *)
+(* Lumping quotient sessions                                          *)
+
+type respect =
+  | Pred of (int -> bool)
+  | Reward of Vec.t
+  | Blocks of int array
+
+let initial_partition n respect =
+  (* one composite key per state; densified to block ids *)
+  let buf = Buffer.create 32 in
+  let keys =
+    Array.init n (fun s ->
+        Buffer.clear buf;
+        List.iter
+          (fun r ->
+            (match r with
+            | Pred p -> Buffer.add_char buf (if p s then '1' else '0')
+            | Reward v ->
+                if Vec.dim v <> n then
+                  invalid_arg "Analysis.quotient: reward dimension mismatch";
+                Buffer.add_int64_le buf (Int64.bits_of_float v.(s))
+            | Blocks b ->
+                if Array.length b <> n then
+                  invalid_arg "Analysis.quotient: blocks dimension mismatch";
+                Buffer.add_string buf (string_of_int b.(s));
+                Buffer.add_char buf ';');
+            Buffer.add_char buf '|')
+          respect;
+        Buffer.contents buf)
+  in
+  Lumping.partition_by_key n (fun s -> keys.(s))
+
+let partition_hash part =
+  Array.fold_left fnv_int fnv_offset part
+
+let quotient ?rate_tolerance t ~respect =
+  let n = Chain.states t.chain in
+  let part = initial_partition n respect in
+  let h = partition_hash part in
+  let bucket =
+    match Hashtbl.find_opt t.quot_tbl h with Some l -> l | None -> []
+  in
+  match List.find_opt (fun (p, _) -> p = part) bucket with
+  | Some (_, quot) ->
+      t.counters.lump_hits <- t.counters.lump_hits + 1;
+      t.counters.lumped_states <- Chain.states quot.q.chain;
+      quot
   | None ->
-      let sub = create (Chain.absorbing t.chain ~pred) in
-      t.counters.absorbed_builds <- t.counters.absorbed_builds + 1;
-      Hashtbl.replace t.absorbed_tbl key sub;
-      sub
+      let lumping = Lumping.lump ?rate_tolerance t.chain ~initial:part in
+      t.counters.lump_builds <- t.counters.lump_builds + 1;
+      t.counters.lumped_states <- Chain.states lumping.Lumping.quotient;
+      let quot = { lumping; q = create lumping.Lumping.quotient } in
+      Hashtbl.replace t.quot_tbl h ((part, quot) :: bucket);
+      quot
+
+let lift quot v = Lumping.lift quot.lumping v
+
+let project quot v = Lumping.project quot.lumping v
+
+(* Predicates/rewards respected by the quotient are block-constant, so any
+   member represents its block. *)
+let block_pred quot pred =
+  let blocks = quot.lumping.Lumping.blocks in
+  fun b -> pred (List.hd blocks.(b))
+
+let block_reward quot reward =
+  let blocks = quot.lumping.Lumping.blocks in
+  Array.map (fun members -> reward.(List.hd members)) blocks
 
 type dir = Forward | Backward
 
@@ -302,15 +443,21 @@ let stats t =
     steady_hits = c.steady_hits;
     absorbed_builds = c.absorbed_builds;
     absorbed_hits = c.absorbed_hits;
+    absorbed_collisions = c.absorbed_collisions;
     mixture_passes = c.mixture_passes;
     mixture_steps = c.mixture_steps;
+    lump_builds = c.lump_builds;
+    lump_hits = c.lump_hits;
+    lumped_states = c.lumped_states;
   }
 
 let pp_stats ppf t =
   let s = stats t in
   Format.fprintf ppf
     "analysis: unif %d built/%d hits, fg %d computed/%d hits, steady %d \
-     solved/%d hits, absorbed %d built/%d hits, mixture %d passes/%d steps"
+     solved/%d hits, absorbed %d built/%d hits/%d collisions, mixture %d \
+     passes/%d steps, lump %d built/%d hits (%d states)"
     s.uniformized_builds s.uniformized_hits s.weight_computes s.weight_hits
     s.steady_solves s.steady_hits s.absorbed_builds s.absorbed_hits
-    s.mixture_passes s.mixture_steps
+    s.absorbed_collisions s.mixture_passes s.mixture_steps s.lump_builds
+    s.lump_hits s.lumped_states

@@ -68,9 +68,56 @@ val absorbed : ?name:string -> t -> pred:(int -> bool) -> t
     (the transformed chain bounded-until model checking runs on), memoized
     so repeated queries against the same target set reuse one absorbed
     chain and its uniformized matrix. Keyed by [name] when given (the
-    caller vouches that equal names mean equal predicates); otherwise by
-    the predicate's bitmask over the state space, so distinct predicates
-    can never collide. *)
+    caller vouches that equal names mean equal predicates); otherwise by a
+    64-bit FNV-1a hash of the predicate's bitmap over the state space, with
+    the full bitmap stored once per entry and re-checked on every hash hit,
+    so distinct predicates can never be confused — a hash collision only
+    costs one extra comparison (counted in [absorbed_collisions]). *)
+
+(** {2 Lumping quotient sessions} *)
+
+type respect =
+  | Pred of (int -> bool)
+      (** states differing under the predicate stay separate — required for
+          any label/target set the caller will evaluate on the quotient *)
+  | Reward of Numeric.Vec.t
+      (** states with different reward stay separate, so block-constant
+          reward structures project exactly *)
+  | Blocks of int array
+      (** an explicit pre-partition (e.g. from {!Lumping.partition_by_key}) *)
+
+type quotient = {
+  lumping : Lumping.result;
+  q : t;  (** analysis session over the quotient chain, with its own caches *)
+}
+
+val quotient : ?rate_tolerance:float -> t -> respect:respect list -> quotient
+(** [quotient t ~respect] lumps the session's chain with {!Lumping.lump},
+    starting from the coarsest partition that separates states
+    distinguished by any [respect] entry, and wraps the quotient chain in
+    its own cached analysis session. Memoized by the initial partition
+    (FNV-hashed, verified on hit), so every measure that respects the same
+    labels shares one lumping and one set of quotient caches.
+    [rate_tolerance] is passed through to {!Lumping.lump}. *)
+
+val lift : quotient -> Numeric.Vec.t -> Numeric.Vec.t
+(** Expand a per-block vector (e.g. a backward value vector computed on the
+    quotient) to a per-original-state vector. Exact for ordinary
+    lumpability. *)
+
+val project : quotient -> Numeric.Vec.t -> Numeric.Vec.t
+(** Sum a per-original-state vector (e.g. an initial distribution) down to
+    blocks. *)
+
+val block_pred : quotient -> (int -> bool) -> int -> bool
+(** [block_pred quot pred] is [pred] over quotient states. Only meaningful
+    when [pred] was respected when building [quot] (it is then
+    block-constant); evaluated on one representative per block. *)
+
+val block_reward : quotient -> Numeric.Vec.t -> Numeric.Vec.t
+(** [block_reward quot reward] is the reward structure over quotient
+    states; requires [Reward reward] (or a refinement of it) among the
+    respected structures. *)
 
 (** {2 The shared uniformization kernel} *)
 
@@ -125,12 +172,21 @@ type stats = {
   steady_hits : int;
   absorbed_builds : int;
   absorbed_hits : int;
+  absorbed_collisions : int;
+      (** hash-bucket collisions among unnamed absorbed predicates — a
+          nonzero value is harmless (the bitmap check catches it) but worth
+          watching *)
   mixture_passes : int;
       (** sweeps of the shared uniformization kernel ({!poisson_mixture} /
           {!poisson_mixture_multi} invocations that did numerical work) *)
   mixture_steps : int;
       (** SpMVs performed across all kernel sweeps — the observable a
           multi-point curve saves on versus per-point segments *)
+  lump_builds : int;  (** lumpings computed by {!quotient} *)
+  lump_hits : int;  (** {!quotient} calls served from the memo table *)
+  lumped_states : int;
+      (** state count of the most recent quotient chain (0 when {!quotient}
+          was never called) *)
 }
 (** Cache-effectiveness counters for this session alone (sub-sessions from
     {!absorbed} keep their own). Exposed so tests can assert that repeated

@@ -1,11 +1,16 @@
 (** Strong (ordinary) lumpability: CTMC state-space minimization.
 
-    Partition refinement: starting from a caller-supplied partition (states
-    that must stay distinguishable, e.g. because they carry different labels
-    or rewards), blocks are split until every state in a block has the same
-    total rate into every other block. The quotient chain then preserves all
-    transient and steady-state measures of block-constant predicates — the
-    minimization the Arcade paper names as future work. *)
+    Splitter-based partition refinement (Valmari–Franceschinis worklist,
+    O(m log n)): starting from a caller-supplied partition (states that must
+    stay distinguishable, e.g. because they carry different labels or
+    rewards), blocks are split until every state in a block has the same
+    total rate into every other block. Rate sums are compared with an
+    explicit absolute/relative tolerance predicate — two sums are equal when
+    [|a - b| <= abs_tolerance + rate_tolerance * max |a| |b|] — not by
+    rounding to a grid, so exactly-lumpable states can never be separated by
+    a rounding boundary. The quotient chain preserves all transient and
+    steady-state measures of block-constant predicates — the minimization
+    the Arcade paper names as future work. *)
 
 type result = {
   block_of : int array; (** block index of each original state *)
@@ -17,12 +22,22 @@ val partition_by_key : int -> (int -> string) -> int array
 (** [partition_by_key n key] groups states [0..n-1] by [key]; returns the
     block index per state (dense, starting at 0). *)
 
-val lump : ?rate_tolerance:float -> Chain.t -> initial:int array -> result
+val lump :
+  ?rate_tolerance:float ->
+  ?abs_tolerance:float ->
+  Chain.t ->
+  initial:int array ->
+  result
 (** [lump m ~initial] refines [initial] to the coarsest strongly lumpable
     partition and builds the quotient. [initial.(s)] is the block of state
     [s]; blocks must be numbered densely from 0. The quotient's initial
-    distribution aggregates the original one. [rate_tolerance] (default
-    [1e-9]) is the relative tolerance when comparing block rates. *)
+    distribution aggregates the original one. Two block-rate sums are
+    considered equal when they differ by at most
+    [abs_tolerance + rate_tolerance * max |a| |b|] (defaults [1e-12] and
+    [1e-9]): the tolerances absorb float summation noise only — there is no
+    grid, so no boundary can split exactly-lumpable states. Raises
+    [Invalid_argument] on a non-dense partition, a size mismatch or a
+    negative tolerance. *)
 
 val lift : result -> Numeric.Vec.t -> Numeric.Vec.t
 (** [lift r v] expands a per-block vector to a per-original-state vector. *)

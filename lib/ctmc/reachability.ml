@@ -17,26 +17,46 @@ let absorb ?analysis m ~pred =
 let absorb_for_until ?analysis m ~phi ~psi =
   absorb ?analysis m ~pred:(fun s -> psi s || not (phi s))
 
-let bounded_until ?epsilon ?analysis m ~phi ~psi ~bound =
+(* Lumping note: the quotient of the absorbed chain must respect [psi] —
+   otherwise the absorbing psi states could merge with absorbing
+   not-phi states (both have all-zero generator rows) and the target
+   mass would be wrong. [Transient.probability_at ~lump] /
+   [Transient.backward ~lump] respect exactly the predicate/vector they
+   evaluate, which is psi (or its indicator), so that is guaranteed. *)
+
+let bounded_until ?epsilon ?lump ?analysis m ~phi ~psi ~bound =
   if bound < 0. then invalid_arg "Reachability.bounded_until: negative bound";
   let m', sub = absorb_for_until ?analysis m ~phi ~psi in
   let goal = indicator (Chain.states m) psi in
-  Transient.backward ?epsilon ?analysis:sub m' goal bound
+  Transient.backward ?epsilon ?lump ?analysis:sub m' goal bound
 
-let bounded_until_from_init ?epsilon ?analysis m ~phi ~psi ~bound =
+let bounded_until_from_init ?epsilon ?lump ?analysis m ~phi ~psi ~bound =
   if bound < 0. then invalid_arg "Reachability.bounded_until: negative bound";
   let m', sub = absorb_for_until ?analysis m ~phi ~psi in
-  Transient.probability_at ?epsilon ?analysis:sub m' ~pred:psi bound
+  Transient.probability_at ?epsilon ?lump ?analysis:sub m' ~pred:psi bound
 
-let bounded_until_curve ?epsilon ?analysis m ~phi ~psi ~bounds =
+let bounded_until_curve ?epsilon ?(lump = false) ?analysis m ~phi ~psi ~bounds =
   let m', sub = absorb_for_until ?analysis m ~phi ~psi in
-  let points = Transient.curve ?epsilon ?analysis:sub m' ~times:bounds in
+  let qa, quot =
+    if lump then begin
+      let a = Analysis.for_chain sub m' in
+      let quot = Analysis.quotient a ~respect:[ Analysis.Pred psi ] in
+      (Some quot.Analysis.q, Some quot)
+    end
+    else (sub, None)
+  in
+  let m'', psi'' =
+    match quot with
+    | Some quot -> (Analysis.chain quot.Analysis.q, Analysis.block_pred quot psi)
+    | None -> (m', psi)
+  in
+  let points = Transient.curve ?epsilon ?analysis:qa m'' ~times:bounds in
   (* evaluate psi once per state, not once per (state, point) *)
   let psi_states =
-    let n = Chain.states m in
+    let n = Chain.states m'' in
     let idx = ref [] in
     for s = n - 1 downto 0 do
-      if psi s then idx := s :: !idx
+      if psi'' s then idx := s :: !idx
     done;
     Array.of_list !idx
   in

@@ -12,16 +12,21 @@
 
 val bounded_until :
   ?epsilon:float ->
+  ?lump:bool ->
   ?analysis:Analysis.t ->
   Chain.t ->
   phi:(int -> bool) ->
   psi:(int -> bool) ->
   bound:float ->
   Numeric.Vec.t
-(** Per-state probability of [phi U<=bound psi]. *)
+(** Per-state probability of [phi U<=bound psi]. With [~lump:true] the
+    vector iteration runs on the psi-respecting lumping quotient of the
+    absorbed chain ({!Analysis.quotient}) and the per-block values are
+    lifted back — exact, and faster whenever the quotient is smaller. *)
 
 val bounded_until_from_init :
   ?epsilon:float ->
+  ?lump:bool ->
   ?analysis:Analysis.t ->
   Chain.t ->
   phi:(int -> bool) ->
@@ -32,6 +37,7 @@ val bounded_until_from_init :
 
 val bounded_until_curve :
   ?epsilon:float ->
+  ?lump:bool ->
   ?analysis:Analysis.t ->
   Chain.t ->
   phi:(int -> bool) ->

@@ -6,13 +6,35 @@ let check_reward m reward =
   if Vec.dim reward <> Chain.states m then
     invalid_arg "Rewards: reward structure dimension mismatch"
 
-let instantaneous ?epsilon ?analysis m ~reward ~at =
+(* With [~lump:true] every operator runs its vector iteration on the
+   quotient that respects the reward structure, so the structure is
+   block-constant and expectations against the aggregated distribution are
+   exact. Returns the quotient session, chain and per-block reward. *)
+let lumped analysis m ~reward =
+  let a = Analysis.for_chain analysis m in
+  let quot = Analysis.quotient a ~respect:[ Analysis.Reward reward ] in
+  let qa = quot.Analysis.q in
+  (qa, Analysis.chain qa, Analysis.block_reward quot reward)
+
+let instantaneous ?epsilon ?(lump = false) ?analysis m ~reward ~at =
   check_reward m reward;
+  let analysis, m, reward =
+    if lump then
+      let qa, qm, qr = lumped analysis m ~reward in
+      (Some qa, qm, qr)
+    else (analysis, m, reward)
+  in
   let pi = Transient.distribution ?epsilon ?analysis m at in
   Vec.dot pi reward
 
-let instantaneous_curve ?epsilon ?analysis m ~reward ~times =
+let instantaneous_curve ?epsilon ?(lump = false) ?analysis m ~reward ~times =
   check_reward m reward;
+  let analysis, m, reward =
+    if lump then
+      let qa, qm, qr = lumped analysis m ~reward in
+      (Some qa, qm, qr)
+    else (analysis, m, reward)
+  in
   let points = Transient.curve ?epsilon ?analysis m ~times in
   List.map (fun (t, pi) -> (t, Vec.dot pi reward)) points
 
@@ -30,27 +52,40 @@ let accumulated_from ?epsilon a start ~reward t =
     in
     Vec.dot weighted reward
 
-let accumulated ?epsilon ?analysis m ~reward ~upto =
+let accumulated ?epsilon ?(lump = false) ?analysis m ~reward ~upto =
   check_reward m reward;
-  let a = Analysis.for_chain analysis m in
-  accumulated_from ?epsilon a (Chain.initial m) ~reward upto
+  if lump then
+    let qa, qm, qr = lumped analysis m ~reward in
+    accumulated_from ?epsilon qa (Chain.initial qm) ~reward:qr upto
+  else
+    let a = Analysis.for_chain analysis m in
+    accumulated_from ?epsilon a (Chain.initial m) ~reward upto
 
 (* one Tail_over_lambda sweep with an accumulator per time point, instead
    of the former two passes (reward integral + transient restart) per
    segment *)
-let accumulated_curve ?epsilon ?analysis m ~reward ~times =
+let accumulated_curve ?epsilon ?(lump = false) ?analysis m ~reward ~times =
   check_reward m reward;
   List.iter
     (fun t -> if t < 0. then invalid_arg "Rewards.accumulated_curve: negative time")
     times;
-  let a = Analysis.for_chain analysis m in
+  let a, m, reward =
+    if lump then lumped analysis m ~reward
+    else (Analysis.for_chain analysis m, m, reward)
+  in
   let weighted =
     Analysis.poisson_mixture_multi ?epsilon a ~dir:Analysis.Forward
       ~coeff:Analysis.Tail_over_lambda (Chain.initial m) ~times
   in
   List.map2 (fun t w -> (t, Vec.dot w reward)) times weighted
 
-let steady_state ?tol ?analysis m ~reward =
+let steady_state ?tol ?(lump = false) ?analysis m ~reward =
   check_reward m reward;
+  let analysis, m, reward =
+    if lump then
+      let qa, qm, qr = lumped analysis m ~reward in
+      (Some qa, qm, qr)
+    else (analysis, m, reward)
+  in
   let pi = Steady_state.solve ?tol ?analysis m in
   Vec.dot pi reward

@@ -15,11 +15,21 @@ type structure = Numeric.Vec.t
 (** [structure.(s)] is the reward rate of state [s]. *)
 
 val instantaneous :
-  ?epsilon:float -> ?analysis:Analysis.t -> Chain.t -> reward:structure -> at:float -> float
-(** [instantaneous m ~reward ~at] is [sum_s pi(at)(s) * reward(s)]. *)
+  ?epsilon:float ->
+  ?lump:bool ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  reward:structure ->
+  at:float ->
+  float
+(** [instantaneous m ~reward ~at] is [sum_s pi(at)(s) * reward(s)]. All
+    operators below accept [~lump:true]: the vector iteration then runs on
+    the lumping quotient that respects [reward] ({!Analysis.quotient}), so
+    the structure is block-constant and the expectation is exact. *)
 
 val instantaneous_curve :
   ?epsilon:float ->
+  ?lump:bool ->
   ?analysis:Analysis.t ->
   Chain.t ->
   reward:structure ->
@@ -30,13 +40,20 @@ val instantaneous_curve :
     is aligned 1:1 with [times] (order preserved, duplicates kept). *)
 
 val accumulated :
-  ?epsilon:float -> ?analysis:Analysis.t -> Chain.t -> reward:structure -> upto:float -> float
+  ?epsilon:float ->
+  ?lump:bool ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  reward:structure ->
+  upto:float ->
+  float
 (** [accumulated m ~reward ~upto] is [E(int_0^upto reward(X_u) du)],
     computed by the uniformization integral
     [sum_k (1/lambda) P(Poisson(lambda t) > k) (v_k . rho)]. *)
 
 val accumulated_curve :
   ?epsilon:float ->
+  ?lump:bool ->
   ?analysis:Analysis.t ->
   Chain.t ->
   reward:structure ->
@@ -50,5 +67,5 @@ val accumulated_curve :
     kept). *)
 
 val steady_state :
-  ?tol:float -> ?analysis:Analysis.t -> Chain.t -> reward:structure -> float
+  ?tol:float -> ?lump:bool -> ?analysis:Analysis.t -> Chain.t -> reward:structure -> float
 (** Long-run average reward rate. *)

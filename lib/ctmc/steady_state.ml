@@ -100,8 +100,18 @@ let solve ?tol ?analysis m =
         (fun () -> solve_fresh ?tol a m)
   | Some _ | None -> solve_fresh ?tol (Analysis.create m) m
 
-let long_run_probability ?tol ?analysis m ~pred =
-  let pi = solve ?tol ?analysis m in
+let long_run_probability ?tol ?(lump = false) ?analysis m ~pred =
+  let pi, pred =
+    if lump then begin
+      (* stationary block masses of the quotient equal the summed original
+         masses (ordinary lumpability), so the pred-mass is preserved *)
+      let a = Analysis.for_chain analysis m in
+      let quot = Analysis.quotient a ~respect:[ Analysis.Pred pred ] in
+      let qa = quot.Analysis.q in
+      (solve ?tol ~analysis:qa (Analysis.chain qa), Analysis.block_pred quot pred)
+    end
+    else (solve ?tol ?analysis m, pred)
+  in
   let acc = ref 0. in
   Array.iteri (fun s p -> if pred s then acc := !acc +. p) pi;
   !acc

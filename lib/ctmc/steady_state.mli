@@ -21,8 +21,16 @@ val solve_irreducible :
     raises [Invalid_argument] otherwise. Initial-distribution independent. *)
 
 val long_run_probability :
-  ?tol:float -> ?analysis:Analysis.t -> Chain.t -> pred:(int -> bool) -> float
+  ?tol:float ->
+  ?lump:bool ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  pred:(int -> bool) ->
+  float
 (** [long_run_probability m ~pred] is the long-run fraction of time spent in
-    states satisfying [pred] — CSL's [S=? [pred]]. *)
+    states satisfying [pred] — CSL's [S=? [pred]]. With [~lump:true] the
+    solve runs on the pred-respecting lumping quotient
+    ({!Analysis.quotient}); stationary block masses equal summed state
+    masses, so the result is exact. *)
 
 val is_irreducible : ?analysis:Analysis.t -> Chain.t -> bool

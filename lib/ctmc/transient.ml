@@ -26,17 +26,40 @@ let curve ?epsilon ?analysis m ~times =
   in
   List.map2 (fun t pi -> (t, pi)) times pis
 
-let probability_at ?epsilon ?analysis m ~pred t =
-  let pi = distribution ?epsilon ?analysis m t in
+let mass pred pi =
   let acc = ref 0. in
   Array.iteri (fun s p -> if pred s then acc := !acc +. p) pi;
   !acc
 
-let backward ?epsilon ?analysis m v t =
+let probability_at ?epsilon ?(lump = false) ?analysis m ~pred t =
+  if lump then begin
+    (* run the forward sweep on the quotient that respects [pred]: the
+       quotient's aggregated distribution carries exactly the pred-mass *)
+    let a = Analysis.for_chain analysis m in
+    let quot = Analysis.quotient a ~respect:[ Analysis.Pred pred ] in
+    let qa = quot.Analysis.q in
+    let pi = distribution ?epsilon ~analysis:qa (Analysis.chain qa) t in
+    mass (Analysis.block_pred quot pred) pi
+  end
+  else mass pred (distribution ?epsilon ?analysis m t)
+
+let backward ?epsilon ?(lump = false) ?analysis m v t =
   if t < 0. then invalid_arg "Transient.backward: negative time";
   if Vec.dim v <> Chain.states m then
     invalid_arg "Transient.backward: dimension mismatch";
   if t = 0. then Vec.copy v
+  else if lump then begin
+    (* respect the value vector itself, so it is block-constant; backward
+       value vectors then lift exactly *)
+    let a = Analysis.for_chain analysis m in
+    let quot = Analysis.quotient a ~respect:[ Analysis.Reward v ] in
+    let qa = quot.Analysis.q in
+    let bv =
+      Analysis.poisson_mixture ?epsilon qa ~dir:Analysis.Backward
+        ~coeff:Analysis.Pmf (Analysis.block_reward quot v) ~time:t
+    in
+    Analysis.lift quot bv
+  end
   else
     let a = Analysis.for_chain analysis m in
     Analysis.poisson_mixture ?epsilon a ~dir:Analysis.Backward ~coeff:Analysis.Pmf

@@ -42,16 +42,20 @@ val curve :
 
 val probability_at :
   ?epsilon:float ->
+  ?lump:bool ->
   ?analysis:Analysis.t ->
   Chain.t ->
   pred:(int -> bool) ->
   float ->
   float
 (** [probability_at m ~pred t] is the probability mass on states satisfying
-    [pred] at time [t]. *)
+    [pred] at time [t]. With [~lump:true] the sweep runs on the cached
+    lumping quotient that respects [pred] ({!Analysis.quotient}) — exact,
+    and faster whenever the quotient is smaller. *)
 
 val backward :
   ?epsilon:float ->
+  ?lump:bool ->
   ?analysis:Analysis.t ->
   Chain.t ->
   Numeric.Vec.t ->
@@ -59,4 +63,7 @@ val backward :
   Numeric.Vec.t
 (** [backward m v t] is [e^(Q t) v]: entry [s] is the expected value of
     [v] at time [t] conditional on starting in state [s]. This is the
-    per-start-state view used by bounded-until model checking. *)
+    per-start-state view used by bounded-until model checking. With
+    [~lump:true] the iteration runs on the quotient that respects [v]
+    (so [v] is block-constant) and the per-block result is lifted back —
+    exact for ordinary lumpability. *)

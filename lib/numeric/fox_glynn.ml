@@ -17,9 +17,9 @@ type t = {
    for large lambda we normalize by the window total, which differs from the
    true mass by at most epsilon. *)
 let compute ?(epsilon = 1e-12) lambda =
-  if lambda < 0. || Float.is_nan lambda then
-    invalid_arg "Fox_glynn.compute: negative lambda";
-  if epsilon <= 0. || epsilon >= 1. then
+  if not (Float.is_finite lambda) || lambda < 0. then
+    invalid_arg "Fox_glynn.compute: lambda must be finite and non-negative";
+  if not (Float.is_finite epsilon) || epsilon <= 0. || epsilon >= 1. then
     invalid_arg "Fox_glynn.compute: epsilon out of (0,1)";
   if lambda = 0. then
     { lambda; left = 0; right = 0; weights = [| 1. |] }

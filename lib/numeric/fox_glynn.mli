@@ -19,7 +19,9 @@ type t = private {
 
 val compute : ?epsilon:float -> float -> t
 (** [compute ~epsilon lambda] computes the truncated weights. [lambda] must
-    be non-negative; [epsilon] defaults to [1e-12]. For [lambda = 0.] the
+    be finite and non-negative and [epsilon] finite in (0,1) — NaN or
+    infinite values raise [Invalid_argument]. [epsilon] defaults to
+    [1e-12]. For [lambda = 0.] the
     window is [[0, 0]] with weight 1. *)
 
 val total_mass : t -> float

@@ -44,11 +44,29 @@ let uniform g x = float g *. x
 
 let int g n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* rejection-free for our purposes: modulo bias is negligible for n << 2^64,
-     but use multiply-shift to avoid it entirely for small n *)
-  let f = float g in
-  let k = int_of_float (f *. float_of_int n) in
-  if k >= n then n - 1 else k
+  if n = 1 then 0
+  else begin
+    (* masked rejection over 62 raw bits: keep the smallest all-ones mask
+       covering n-1 and retry draws >= n. Every surviving value is equally
+       likely, for any n — unlike float scaling, which collapses 2^64
+       states onto 53 bits and rounds, so some residues occur more often *)
+    let mask =
+      let m = ref (n - 1) in
+      m := !m lor (!m lsr 1);
+      m := !m lor (!m lsr 2);
+      m := !m lor (!m lsr 4);
+      m := !m lor (!m lsr 8);
+      m := !m lor (!m lsr 16);
+      m := !m lor (!m lsr 32);
+      !m
+    in
+    let rec draw () =
+      let bits = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+      let k = bits land mask in
+      if k < n then k else draw ()
+    in
+    draw ()
+  end
 
 let exponential g ~rate =
   if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";

@@ -23,7 +23,9 @@ val uniform : t -> float -> float
 (** [uniform t x] is uniform in [[0, x)]. *)
 
 val int : t -> int -> int
-(** [int t n] is uniform in [[0, n-1]]; [n] must be positive. *)
+(** [int t n] is uniform in [[0, n-1]]; [n] must be positive. Exactly
+    uniform for every [n] (masked rejection sampling over raw bits, no
+    float scaling and hence no modulo or rounding bias). *)
 
 val exponential : t -> rate:float -> float
 (** Exponentially distributed sample with the given positive [rate]. *)

@@ -39,32 +39,45 @@ let clear_cache () =
   Hashtbl.reset (Domain.DLS.get cache_key_dls);
   Hashtbl.reset (Domain.DLS.get reliability_cache_dls)
 
-let cache_key line config disaster =
-  Printf.sprintf "%s/%s/%s" (Facility.line_name line)
+(* LUMP=1 routes every measure below through the quotient-based engine
+   (Analysis.quotient); any other value keeps the full-chain engine. Read
+   per call so tests can toggle it, and folded into the cache key so the
+   two engines never share a Measures.t. *)
+let lump_enabled () =
+  match Sys.getenv_opt "LUMP" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let cache_key ~lump line config disaster =
+  Printf.sprintf "%s/%s/%s%s" (Facility.line_name line)
     (Facility.config_name config)
     (match disaster with None -> "-" | Some failed -> String.concat "," failed)
+    (if lump then "/lump" else "")
 
 let measures ?disaster line config =
+  let lump = lump_enabled () in
   let cache = Domain.DLS.get cache_key_dls in
-  let key = cache_key line config disaster in
+  let key = cache_key ~lump line config disaster in
   match Hashtbl.find_opt cache key with
   | Some m -> m
   | None ->
       let m =
         match disaster with
-        | None -> Facility.analyze line config
-        | Some failed -> Facility.analyze_after_disaster line config ~failed
+        | None -> Facility.analyze ~lump line config
+        | Some failed ->
+            Facility.analyze_after_disaster ~lump line config ~failed
       in
       Hashtbl.replace cache key m;
       m
 
 let reliability_measures line =
+  let lump = lump_enabled () in
   let reliability_cache = Domain.DLS.get reliability_cache_dls in
-  let key = Facility.line_name line in
+  let key = Facility.line_name line ^ if lump then "/lump" else "" in
   match Hashtbl.find_opt reliability_cache key with
   | Some m -> m
   | None ->
-      let m = Measures.analyze (Facility.reliability_model line) in
+      let m = Measures.analyze ~lump (Facility.reliability_model line) in
       Hashtbl.replace reliability_cache key m;
       m
 

@@ -29,6 +29,13 @@
     worker builds and reuses its own sessions. Results are deterministic
     and identical for any domain count. *)
 
+val lump_enabled : unit -> bool
+(** True when the [LUMP] environment variable is ["1"], ["true"] or
+    ["yes"]: every artifact is then computed through the quotient-based
+    engine ({!Core.Measures.analyze} with [~lump:true], backed by
+    {!Ctmc.Analysis.quotient}). Results are identical either way; the
+    quotient engine is faster on the larger FRF/FFF chains. *)
+
 type series = { label : string; points : (float * float) list }
 
 type figure = {

@@ -123,8 +123,9 @@ let service_intervals line =
   in
   pairs levels
 
-let analyze ?initial line config = Measures.analyze ?initial (line_model line config)
+let analyze ?initial ?lump line config =
+  Measures.analyze ?initial ?lump (line_model line config)
 
-let analyze_after_disaster line config ~failed =
+let analyze_after_disaster ?lump line config ~failed =
   let model = line_model line config in
-  Measures.analyze ~initial:(Semantics.disaster_state model ~failed) model
+  Measures.analyze ~initial:(Semantics.disaster_state model ~failed) ?lump model

@@ -68,8 +68,10 @@ val service_intervals : line -> (float * float) list
     X3 = (1, 1); Line 2 adds the 1/2 level. The survivability of interval
     [Xi] is the probability of reaching service >= low. *)
 
-val analyze : ?initial:Core.Semantics.state -> line -> config -> Core.Measures.t
+val analyze :
+  ?initial:Core.Semantics.state -> ?lump:bool -> line -> config -> Core.Measures.t
 (** Build and wrap a line's chain for measure evaluation. *)
 
-val analyze_after_disaster : line -> config -> failed:string list -> Core.Measures.t
+val analyze_after_disaster :
+  ?lump:bool -> line -> config -> failed:string list -> Core.Measures.t
 (** GOOD model: same chain rooted at the disaster state. *)

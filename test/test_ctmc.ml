@@ -479,6 +479,50 @@ let test_lump_lift_project () =
   let projected = Lumping.project r [| 1.; 2. |] in
   Alcotest.(check (array (float 0.))) "project" [| 3. |] projected
 
+let test_lump_no_grid_splits () =
+  (* regression for the old decade-scaled grid signatures: a pair of
+     lumpable states whose outgoing-rate sums land on opposite sides of a
+     %.0f rounding boundary, a 10^k decade boundary, or the sqrt(10)
+     scale cut used to be split spuriously. The tolerance predicate has
+     no boundaries, so they must stay merged. *)
+  let check_pair name sum_a sum_b =
+    (* 0 fans out to 1 and 2; both reach the absorbing pair {3,4} with
+       nearly equal total rate, split unevenly so each side accumulates
+       its own float summation noise *)
+    let m =
+      Chain.of_transitions ~states:5
+        [
+          (0, 1, 1.); (0, 2, 1.);
+          (1, 3, sum_a *. 0.5); (1, 4, sum_a *. 0.5);
+          (2, 3, sum_b *. 0.3); (2, 4, sum_b *. 0.7);
+        ]
+    in
+    let r = Lumping.lump m ~initial:[| 0; 0; 0; 1; 1 |] in
+    Alcotest.(check int) (name ^ ": 3 blocks") 3 (Chain.states r.Lumping.quotient);
+    Alcotest.(check int)
+      (name ^ ": lumpable pair stays merged")
+      r.Lumping.block_of.(1) r.Lumping.block_of.(2)
+  in
+  let s10 = Float.sqrt 10. in
+  check_pair "sqrt(10) scale cut" (s10 *. (1. -. 5e-11)) (s10 *. (1. +. 5e-11));
+  check_pair "%.0f rounding boundary" 3.4999999999 3.5000000002;
+  check_pair "decade boundary" 0.99999999995 1.00000000005;
+  (* and genuinely different sums must still split *)
+  let m =
+    Chain.of_transitions ~states:5
+      [ (0, 1, 1.); (0, 2, 1.); (1, 3, 3.1); (1, 4, 3.1); (2, 3, 3.2); (2, 4, 3.2) ]
+  in
+  let r = Lumping.lump m ~initial:[| 0; 0; 0; 1; 1 |] in
+  Alcotest.(check int) "distinct sums split" 4 (Chain.states r.Lumping.quotient)
+
+let test_lump_tolerance_validation () =
+  Alcotest.check_raises "negative tolerance"
+    (Invalid_argument "Lumping.lump: negative tolerance") (fun () ->
+      ignore (Lumping.lump (two_state 1. 1.) ~rate_tolerance:(-1.) ~initial:[| 0; 0 |]));
+  Alcotest.check_raises "non-dense partition"
+    (Invalid_argument "Lumping.lump: block ids not dense") (fun () ->
+      ignore (Lumping.lump (two_state 1. 1.) ~initial:[| 0; 2 |]))
+
 (* ------------------------------------------------------------------ *)
 (* Simulate (cross-validation of the numerical engine) *)
 
@@ -689,6 +733,98 @@ let test_analysis_absorbed_cache () =
   let s = Analysis.stats a in
   Alcotest.(check int) "one absorbed chain" 1 s.Analysis.absorbed_builds;
   Alcotest.(check bool) "second query reuses it" true (s.Analysis.absorbed_hits >= 1)
+
+let analysis_symmetric_chain () =
+  (* two identical independent components (as in test_lump_symmetric_pair):
+     states 0 = both up, 1/2 = one down, 3 = both down *)
+  Chain.of_transitions ~states:4
+    [
+      (0, 1, 0.1); (0, 2, 0.1);
+      (1, 0, 1.); (1, 3, 0.1);
+      (2, 0, 1.); (2, 3, 0.1);
+      (3, 1, 1.); (3, 2, 1.);
+    ]
+
+let test_analysis_quotient_cache () =
+  let m = analysis_symmetric_chain () in
+  let a = Analysis.create m in
+  let pred s = s = 3 in
+  let quot = Analysis.quotient a ~respect:[ Analysis.Pred pred ] in
+  Alcotest.(check int) "3 blocks"
+    3
+    (Chain.states (Analysis.chain quot.Analysis.q));
+  let s1 = Analysis.stats a in
+  Alcotest.(check int) "one lump build" 1 s1.Analysis.lump_builds;
+  Alcotest.(check int) "lumped_states recorded" 3 s1.Analysis.lumped_states;
+  (* same respected predicate -> same initial partition -> cache hit *)
+  let quot2 = Analysis.quotient a ~respect:[ Analysis.Pred (fun s -> s >= 3) ] in
+  Alcotest.(check bool) "memoized session reused" true
+    (quot.Analysis.q == quot2.Analysis.q);
+  let s2 = Analysis.stats a in
+  Alcotest.(check int) "still one lump build" 1 s2.Analysis.lump_builds;
+  Alcotest.(check int) "second call is a hit" 1 s2.Analysis.lump_hits;
+  (* a finer respect list really is a different quotient *)
+  let quot3 =
+    Analysis.quotient a ~respect:[ Analysis.Blocks [| 0; 1; 2; 3 |] ]
+  in
+  Alcotest.(check int) "identity respect keeps all states"
+    4
+    (Chain.states (Analysis.chain quot3.Analysis.q));
+  Alcotest.(check int) "second lump build"
+    2
+    (Analysis.stats a).Analysis.lump_builds
+
+let test_analysis_quotient_measures_agree () =
+  let m = analysis_symmetric_chain () in
+  let a = Analysis.create m in
+  let pred s = s = 1 || s = 2 in
+  check_close "transient mass via quotient"
+    (Transient.probability_at m ~pred 2.3)
+    (Transient.probability_at ~lump:true ~analysis:a m ~pred 2.3);
+  check_close "long-run mass via quotient"
+    (Steady_state.long_run_probability m ~pred)
+    (Steady_state.long_run_probability ~lump:true ~analysis:a m ~pred);
+  let phi _ = true and psi s = s = 3 in
+  check_vec "bounded until via quotient"
+    (Reachability.bounded_until m ~phi ~psi ~bound:1.7)
+    (Reachability.bounded_until ~lump:true ~analysis:a m ~phi ~psi ~bound:1.7);
+  check_close "bounded until from init via quotient"
+    (Reachability.bounded_until_from_init m ~phi ~psi ~bound:1.7)
+    (Reachability.bounded_until_from_init ~lump:true ~analysis:a m ~phi ~psi
+       ~bound:1.7);
+  List.iter2
+    (fun (t1, p1) (t2, p2) ->
+      check_close "curve times match" t1 t2;
+      check_close "bounded until curve via quotient" p1 p2)
+    (Reachability.bounded_until_curve m ~phi ~psi ~bounds:[ 0.5; 1.; 2. ])
+    (Reachability.bounded_until_curve ~lump:true ~analysis:a m ~phi ~psi
+       ~bounds:[ 0.5; 1.; 2. ]);
+  let reward = [| 2.; 5.; 5.; 11. |] in
+  check_close "instantaneous reward via quotient"
+    (Rewards.instantaneous m ~reward ~at:1.2)
+    (Rewards.instantaneous ~lump:true ~analysis:a m ~reward ~at:1.2);
+  check_close "accumulated reward via quotient"
+    (Rewards.accumulated m ~reward ~upto:3.)
+    (Rewards.accumulated ~lump:true ~analysis:a m ~reward ~upto:3.);
+  check_close "steady reward via quotient"
+    (Rewards.steady_state m ~reward)
+    (Rewards.steady_state ~lump:true ~analysis:a m ~reward)
+
+let test_analysis_absorbed_hash_keys () =
+  (* unnamed predicates are cached by bitmap hash: equal bitmaps hit,
+     different bitmaps build, and no collision is miscounted as a hit *)
+  let m = analysis_chain () in
+  let a = Analysis.create m in
+  let sub1 = Analysis.absorbed a ~pred:(fun s -> s = 4) in
+  let sub2 = Analysis.absorbed a ~pred:(fun s -> s = 4) in
+  Alcotest.(check bool) "same predicate, same sub-session" true (sub1 == sub2);
+  let sub3 = Analysis.absorbed a ~pred:(fun s -> s >= 3) in
+  Alcotest.(check bool) "different predicate, different sub-session" true
+    (sub1 != sub3);
+  let s = Analysis.stats a in
+  Alcotest.(check int) "two absorbed builds" 2 s.Analysis.absorbed_builds;
+  Alcotest.(check int) "one absorbed hit" 1 s.Analysis.absorbed_hits;
+  Alcotest.(check int) "no collisions" 0 s.Analysis.absorbed_collisions
 
 let test_analysis_wrong_chain_ignored () =
   let m = analysis_chain () in
@@ -905,6 +1041,11 @@ let () =
             test_analysis_absorbed_cache;
           Alcotest.test_case "foreign session ignored" `Quick
             test_analysis_wrong_chain_ignored;
+          Alcotest.test_case "quotient cache" `Quick test_analysis_quotient_cache;
+          Alcotest.test_case "quotient measures agree" `Quick
+            test_analysis_quotient_measures_agree;
+          Alcotest.test_case "absorbed hash keys" `Quick
+            test_analysis_absorbed_hash_keys;
         ] );
       ( "multi-kernel",
         [
@@ -923,6 +1064,10 @@ let () =
           Alcotest.test_case "refinement splits" `Quick test_lump_refines_when_needed;
           Alcotest.test_case "identity partition" `Quick test_lump_identity_partition;
           Alcotest.test_case "lift and project" `Quick test_lump_lift_project;
+          Alcotest.test_case "no tolerance-grid splits" `Quick
+            test_lump_no_grid_splits;
+          Alcotest.test_case "input validation" `Quick
+            test_lump_tolerance_validation;
         ]
         @ qsuite [ prop_lumping_preserves_steady_state ] );
       ( "simulate",

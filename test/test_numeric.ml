@@ -177,9 +177,20 @@ let test_fox_glynn_tail () =
   check_float "tail end" 0. tail.(n - 1)
 
 let test_fox_glynn_invalid () =
-  Alcotest.check_raises "negative lambda"
-    (Invalid_argument "Fox_glynn.compute: negative lambda") (fun () ->
-      ignore (Fox_glynn.compute (-1.)))
+  let bad_lambda = "Fox_glynn.compute: lambda must be finite and non-negative" in
+  Alcotest.check_raises "negative lambda" (Invalid_argument bad_lambda)
+    (fun () -> ignore (Fox_glynn.compute (-1.)));
+  Alcotest.check_raises "nan lambda" (Invalid_argument bad_lambda) (fun () ->
+      ignore (Fox_glynn.compute Float.nan));
+  Alcotest.check_raises "infinite lambda" (Invalid_argument bad_lambda)
+    (fun () -> ignore (Fox_glynn.compute Float.infinity));
+  let bad_eps = "Fox_glynn.compute: epsilon out of (0,1)" in
+  Alcotest.check_raises "zero epsilon" (Invalid_argument bad_eps) (fun () ->
+      ignore (Fox_glynn.compute ~epsilon:0. 1.));
+  Alcotest.check_raises "nan epsilon" (Invalid_argument bad_eps) (fun () ->
+      ignore (Fox_glynn.compute ~epsilon:Float.nan 1.));
+  Alcotest.check_raises "infinite epsilon" (Invalid_argument bad_eps)
+    (fun () -> ignore (Fox_glynn.compute ~epsilon:Float.infinity 1.))
 
 (* ------------------------------------------------------------------ *)
 (* Solver *)
@@ -435,7 +446,39 @@ let test_rng_int_bounds () =
   for _ = 1 to 10_000 do
     let k = Rng.int g 7 in
     Alcotest.(check bool) "in range" true (k >= 0 && k < 7)
-  done
+  done;
+  (* n = 1 is the degenerate bound: always 0, no bits consumed to reject *)
+  for _ = 1 to 100 do
+    Alcotest.(check int) "n = 1" 0 (Rng.int g 1)
+  done;
+  (* a bound near the top of the 62-bit draw range still stays in range *)
+  let big = (1 lsl 61) + 12345 in
+  for _ = 1 to 10_000 do
+    let k = Rng.int g big in
+    Alcotest.(check bool) "big bound in range" true (k >= 0 && k < big)
+  done;
+  Alcotest.check_raises "non-positive bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int g 0))
+
+let test_rng_int_uniform () =
+  (* masked rejection: each residue of a non-power-of-two bound appears
+     with equal probability (a chi-square-ish sanity bound on 6 cells) *)
+  let g = Rng.create 17L in
+  let n = 6 and draws = 60_000 in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let k = Rng.int g n in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let expect = float_of_int draws /. float_of_int n in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cell %d within 5%%" i)
+        true
+        (Float.abs (float_of_int c -. expect) < 0.05 *. expect))
+    counts
 
 (* ------------------------------------------------------------------ *)
 (* Parallel *)
@@ -563,6 +606,7 @@ let () =
           Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
           Alcotest.test_case "weighted choice" `Quick test_rng_choose_weighted;
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int uniform" `Quick test_rng_int_uniform;
         ] );
       ( "parallel",
         [

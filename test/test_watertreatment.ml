@@ -400,6 +400,77 @@ let test_lumping_reduces_line2 () =
   in
   check_close ~eps:1e-8 "availability preserved" (Measures.availability m) avail_lumped
 
+let test_lumping_idempotent_ded () =
+  (* lumping an already-lumped DED line finds nothing more to merge: the
+     quotient re-lumped under the image of the same respected partition
+     keeps every block *)
+  let m = analyze Facility.Line2 Facility.ded in
+  let built = Measures.built m in
+  let chain = chain_of m in
+  let full = Semantics.service_at_least built 1. in
+  let key s = if full s then "f" else "d" in
+  let initial = Ctmc.Lumping.partition_by_key (Chain.states chain) key in
+  let r = Ctmc.Lumping.lump chain ~initial in
+  let q = r.Ctmc.Lumping.quotient in
+  let nq = Chain.states q in
+  Alcotest.(check bool) "first lump reduces" true (nq < Chain.states chain);
+  let key_q b =
+    match r.Ctmc.Lumping.blocks.(b) with
+    | rep :: _ -> key rep
+    | [] -> assert false
+  in
+  let initial_q = Ctmc.Lumping.partition_by_key nq key_q in
+  let r2 = Ctmc.Lumping.lump q ~initial:initial_q in
+  Alcotest.(check int) "second lump is identity" nq
+    (Chain.states r2.Ctmc.Lumping.quotient)
+
+(* Quotient-vs-full engine equivalence on the paper's measures: Table 2
+   availability, Fig. 3 unreliability and Fig. 4 survivability must agree
+   to 1e-9 between the plain engine and Measures.analyze ~lump:true. *)
+let test_quotient_engine_agrees config =
+  let model line = Facility.line_model line config in
+  List.iter
+    (fun line ->
+      let full = Measures.analyze (model line) in
+      let lumped = Measures.analyze ~lump:true (model line) in
+      check_close ~eps:1e-9
+        (Printf.sprintf "availability (%s)" (Facility.config_name config))
+        (Measures.availability full)
+        (Measures.availability lumped);
+      check_close ~eps:1e-9
+        (Printf.sprintf "unreliability (%s)" (Facility.config_name config))
+        (Measures.unreliability full ~time:1000.)
+        (Measures.unreliability lumped ~time:1000.);
+      let fq = Ctmc.Analysis.stats (Measures.analysis lumped) in
+      Alcotest.(check bool) "quotient really used" true
+        (fq.Ctmc.Analysis.lump_builds >= 1);
+      Alcotest.(check bool) "quotient is smaller" true
+        (fq.Ctmc.Analysis.lumped_states < Chain.states (chain_of lumped)))
+    [ Facility.Line1; Facility.Line2 ];
+  (* survivability from the disaster state (Fig. 4 setting, Line 2 for
+     speed) *)
+  let failed = Facility.disaster2 in
+  let full =
+    Facility.analyze_after_disaster Facility.Line2 config ~failed
+  in
+  let lumped =
+    Facility.analyze_after_disaster ~lump:true Facility.Line2 config ~failed
+  in
+  List.iter
+    (fun level ->
+      check_close ~eps:1e-9
+        (Printf.sprintf "survivability level %.2f (%s)" level
+           (Facility.config_name config))
+        (Measures.survivability full ~service_level:level ~time:10.)
+        (Measures.survivability lumped ~service_level:level ~time:10.))
+    [ 1. /. 3.; 1. ]
+
+let test_quotient_engine_agrees_ded () =
+  test_quotient_engine_agrees Facility.ded
+
+let test_quotient_engine_agrees_frf1 () =
+  test_quotient_engine_agrees (Facility.frf 1)
+
 (* ------------------------------------------------------------------ *)
 (* Experiment plumbing: ids, rendering, CSV *)
 
@@ -648,6 +719,12 @@ let () =
           Alcotest.test_case "simulation agrees" `Slow test_simulation_cross_check;
           Alcotest.test_case "lumping preserves availability" `Slow
             test_lumping_reduces_line2;
+          Alcotest.test_case "lumping idempotent on DED" `Quick
+            test_lumping_idempotent_ded;
+          Alcotest.test_case "quotient engine agrees (DED)" `Slow
+            test_quotient_engine_agrees_ded;
+          Alcotest.test_case "quotient engine agrees (FRF-1)" `Slow
+            test_quotient_engine_agrees_frf1;
         ] );
       ( "plumbing",
         [
