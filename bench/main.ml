@@ -17,8 +17,12 @@
    for part 1 and the per-config series inside each artifact; default
    Domain.recommended_domain_count, 1 = sequential), BENCH_JSON=<path>
    (dump the per-artifact timings — with curve point counts and
-   state-space sizes — plus kernel counters and micro-benchmark
-   estimates as JSON — the BENCH_*.json perf trajectory). *)
+   state-space sizes — plus kernel counters, the Obs metrics snapshot and
+   micro-benchmark estimates as JSON — the BENCH_*.json perf trajectory;
+   written atomically via temp file + rename), OBS_TRACE=<path> (Chrome
+   trace-event JSON of the whole run, loadable in Perfetto) and
+   OBS_METRICS=1|<path> (enable the metrics registry; print the snapshot
+   to stderr at exit, or write it to <path> as JSON). *)
 
 open Bechamel
 open Toolkit
@@ -431,6 +435,9 @@ let json_artifacts buf entries =
   Buffer.add_string buf "  ]"
 
 let write_json path ~artifacts ~kernel ~ablations ~micro =
+  (* Obs.Metrics.to_json is a complete JSON object: embed it verbatim as
+     the "metrics" member (empty-but-valid when OBS_METRICS is off). *)
+  let metrics_json = String.trim (Obs.Metrics.to_json (Obs.Metrics.snapshot ())) in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -450,14 +457,21 @@ let write_json path ~artifacts ~kernel ~ablations ~micro =
   json_timings buf "ablations" "seconds" ablations;
   Buffer.add_string buf ",\n";
   json_timings buf "micro" "ns_per_run" micro;
+  Buffer.add_string buf ",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"metrics\": %s" metrics_json);
   Buffer.add_string buf "\n}\n";
-  let oc = open_out path in
+  (* write-then-rename: an interrupted or crashed run can never leave a
+     truncated JSON artifact behind *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Buffer.contents buf));
+  Sys.rename tmp path;
   Format.printf "wrote timings to %s@." path
 
 let () =
+  Obs.init ();
   let artifacts =
     if skip "BENCH_SKIP_ARTIFACTS" then [] else print_artifacts ()
   in

@@ -8,7 +8,10 @@ let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
-let analyze input queries disaster stats dot_prefix =
+let analyze input queries disaster stats dot_prefix trace metrics =
+  Obs.init ();
+  (match trace with Some path -> Obs.Trace.set_output (Some path) | None -> ());
+  if metrics then Obs.Metrics.set_enabled true;
   let model, measures =
     try Core.Xml_io.load input
     with Core.Xml_io.Schema_error msg | Failure msg ->
@@ -56,7 +59,9 @@ let analyze input queries disaster stats dot_prefix =
     run "any-service availability" "S=? [ \"operational\" ]";
     run "unreliability(1000h)" "P=? [ true U<=1000 !\"full_service\" ]";
     run "steady-state cost" "R{\"cost\"}=? [ S ]"
-  end
+  end;
+  if metrics then
+    Format.printf "%a@." Obs.Metrics.pp (Obs.Metrics.snapshot ())
 
 let input_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL.xml" ~doc:"Arcade XML model")
@@ -80,10 +85,28 @@ let dot_arg =
   in
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"PREFIX" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON of the analysis to $(docv) (open in \
+     Perfetto or chrome://tracing). Equivalent to OBS_TRACE=$(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print the observability metrics snapshot (analysis cache, mixture, \
+     lump and solver counters, recent solver convergences) after the \
+     results. OBS_METRICS=1 prints it to stderr at exit instead; \
+     OBS_METRICS=$(i,FILE) writes it as JSON."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 let cmd =
   let doc = "Model-check CSL/CSRL measures on Arcade XML models" in
   Cmd.v
     (Cmd.info "arcade_analyze" ~version:"1.0.0" ~doc)
-    Term.(const analyze $ input_arg $ query_arg $ disaster_arg $ stats_arg $ dot_arg)
+    Term.(
+      const analyze $ input_arg $ query_arg $ disaster_arg $ stats_arg
+      $ dot_arg $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

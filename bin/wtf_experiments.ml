@@ -13,7 +13,10 @@ let lookup id : (?points:int -> unit -> Watertreatment.Experiments.artifact) opt
       | Some gen -> Some (fun ?points () -> ignore points; gen ())
       | None -> None)
 
-let run_experiments ids points csv output =
+let run_experiments ids points csv output trace metrics =
+  Obs.init ();
+  (match trace with Some path -> Obs.Trace.set_output (Some path) | None -> ());
+  if metrics then Obs.Metrics.set_enabled true;
   let selected =
     match ids with
     | [] ->
@@ -50,7 +53,9 @@ let run_experiments ids points csv output =
       ignore id)
     selected;
   Format.pp_print_flush out ();
-  close ()
+  close ();
+  if metrics then
+    Format.printf "%a@." Obs.Metrics.pp (Obs.Metrics.snapshot ())
 
 let ids_arg =
   let doc =
@@ -72,6 +77,23 @@ let output_arg =
   let doc = "Write to $(docv) instead of standard output." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON of the run to $(docv): one span per \
+     artifact, nested spans per strategy/series and solver phase (open in \
+     Perfetto or chrome://tracing). Equivalent to OBS_TRACE=$(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print the observability metrics snapshot (analysis cache, mixture, \
+     lump and solver counters, recent solver convergences) after the \
+     artifacts. OBS_METRICS=1 prints it to stderr at exit instead; \
+     OBS_METRICS=$(i,FILE) writes it as JSON."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 let cmd =
   let doc = "Reproduce the tables and figures of the Arcade water-treatment paper" in
   let man =
@@ -87,6 +109,8 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "wtf_experiments" ~version:"1.0.0" ~doc ~man)
-    Term.(const run_experiments $ ids_arg $ points_arg $ csv_arg $ output_arg)
+    Term.(
+      const run_experiments $ ids_arg $ points_arg $ csv_arg $ output_arg
+      $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

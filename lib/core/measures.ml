@@ -7,6 +7,10 @@ type t = {
   lump : bool;
 }
 
+(* Every measure entry point runs under a measures.<name> span; when
+   tracing is off this is a single flag check. *)
+let span name f = Obs.Trace.with_span ("measures." ^ name) (fun _ -> f ())
+
 let level_label_name levels x =
   let rec position i = function
     | [] -> invalid_arg "Measures: unknown service level"
@@ -59,7 +63,15 @@ let wrap ?(lump = false) built =
   { built; analysis; csl = make_csl_model ~analysis ~lump built; lump }
 
 let analyze ?max_states ?initial ?lump model =
-  wrap ?lump (Semantics.build ?max_states ?initial model)
+  let built =
+    Obs.Trace.with_span "measures.build" @@ fun sp ->
+    let built = Semantics.build ?max_states ?initial model in
+    if Obs.Trace.recording sp then
+      Obs.Trace.add_attr sp "states"
+        (Obs.Int (Ctmc.Chain.states built.Semantics.chain));
+    built
+  in
+  wrap ?lump built
 
 let analyze_mixed_disasters ?max_states ?lump model disasters =
   if disasters = [] then invalid_arg "Measures.analyze_mixed_disasters: empty mixture";
@@ -113,6 +125,7 @@ let not_fully_operational t =
   fun s -> not (full s)
 
 let unreliability t ~time =
+  span "unreliability" @@ fun () ->
   Ctmc.Reachability.bounded_until_from_init ~lump:t.lump ~analysis:t.analysis
     (chain t)
     ~phi:(fun _ -> true)
@@ -121,6 +134,7 @@ let unreliability t ~time =
 let reliability t ~time = 1. -. unreliability t ~time
 
 let reliability_curve t ~times =
+  span "reliability_curve" @@ fun () ->
   let points =
     Ctmc.Reachability.bounded_until_curve ~lump:t.lump ~analysis:t.analysis
       (chain t)
@@ -130,29 +144,35 @@ let reliability_curve t ~times =
   List.map (fun (time, p) -> (time, 1. -. p)) points
 
 let availability t =
+  span "availability" @@ fun () ->
   Ctmc.Steady_state.long_run_probability ~lump:t.lump ~analysis:t.analysis
     (chain t)
     ~pred:(Semantics.service_at_least t.built 1.)
 
 let any_service_availability t =
+  span "any_service_availability" @@ fun () ->
   Ctmc.Steady_state.long_run_probability ~lump:t.lump ~analysis:t.analysis
     (chain t)
     ~pred:(Semantics.operational_pred t.built)
 
 let instantaneous_availability t ~time =
+  span "instantaneous_availability" @@ fun () ->
   Ctmc.Transient.probability_at ~lump:t.lump ~analysis:t.analysis (chain t)
     ~pred:(Semantics.service_at_least t.built 1.)
     time
 
 let mean_time_to_degradation t =
+  span "mean_time_to_degradation" @@ fun () ->
   Ctmc.Absorption.mean_time_from_init ~analysis:t.analysis (chain t)
     ~psi:(not_fully_operational t)
 
 let mean_time_to_service_loss t =
+  span "mean_time_to_service_loss" @@ fun () ->
   Ctmc.Absorption.mean_time_from_init ~analysis:t.analysis (chain t)
     ~psi:(Semantics.down_pred t.built)
 
 let survivability t ~service_level ~time =
+  span "survivability" @@ fun () ->
   Ctmc.Reachability.bounded_until_from_init ~lump:t.lump ~analysis:t.analysis
     (chain t)
     ~phi:(fun _ -> true)
@@ -160,6 +180,7 @@ let survivability t ~service_level ~time =
     ~bound:time
 
 let survivability_curve t ~service_level ~times =
+  span "survivability_curve" @@ fun () ->
   Ctmc.Reachability.bounded_until_curve ~lump:t.lump ~analysis:t.analysis
     (chain t)
     ~phi:(fun _ -> true)
@@ -201,26 +222,31 @@ let most_likely_degradation_scenario t = describe_scenario t (not_fully_operatio
 let most_likely_loss_scenario t = describe_scenario t (Semantics.down_pred t.built)
 
 let instantaneous_cost t ~time =
+  span "instantaneous_cost" @@ fun () ->
   Ctmc.Rewards.instantaneous ~lump:t.lump ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
     ~at:time
 
 let accumulated_cost t ~time =
+  span "accumulated_cost" @@ fun () ->
   Ctmc.Rewards.accumulated ~lump:t.lump ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
     ~upto:time
 
 let instantaneous_cost_curve t ~times =
+  span "instantaneous_cost_curve" @@ fun () ->
   Ctmc.Rewards.instantaneous_curve ~lump:t.lump ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
     ~times
 
 let accumulated_cost_curve t ~times =
+  span "accumulated_cost_curve" @@ fun () ->
   Ctmc.Rewards.accumulated_curve ~lump:t.lump ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
     ~times
 
 let steady_state_cost t =
+  span "steady_state_cost" @@ fun () ->
   Ctmc.Rewards.steady_state ~lump:t.lump ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
 

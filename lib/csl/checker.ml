@@ -208,7 +208,13 @@ let check model formula =
       let sat = satisfaction model formula in
       Satisfied (List.for_all (fun s -> sat.(s)) (initial_states model))
 
-let check_string model input = check model (Parser.parse input)
+let check_string model input =
+  Obs.Trace.with_span "csl.check" @@ fun span ->
+  if Obs.Trace.recording span then begin
+    Obs.Trace.add_attr span "query" (Obs.Str input);
+    Obs.Trace.add_attr span "states" (Obs.Int (Chain.states model.chain))
+  end;
+  check model (Parser.parse input)
 
 let value model input =
   match check_string model input with

@@ -39,6 +39,43 @@ type stats = {
   lumped_states : int;
 }
 
+(* Obs registry mirrors of the per-session counters. Sessions keep their
+   private always-on ints — the {!stats} compatibility view — and every
+   bump also feeds the process-wide registry (a single flag check, one
+   atomic increment when metrics are on), aggregating the same events
+   across all sessions and domains. *)
+let m_uniformized_builds = Obs.Metrics.counter "analysis.uniformized_builds"
+
+let m_uniformized_hits = Obs.Metrics.counter "analysis.uniformized_hits"
+
+let m_embedded_builds = Obs.Metrics.counter "analysis.embedded_builds"
+
+let m_weight_computes = Obs.Metrics.counter "analysis.weight_computes"
+
+let m_weight_hits = Obs.Metrics.counter "analysis.weight_hits"
+
+let m_steady_solves = Obs.Metrics.counter "analysis.steady_solves"
+
+let m_steady_hits = Obs.Metrics.counter "analysis.steady_hits"
+
+let m_absorbed_builds = Obs.Metrics.counter "analysis.absorbed_builds"
+
+let m_absorbed_hits = Obs.Metrics.counter "analysis.absorbed_hits"
+
+let m_absorbed_collisions = Obs.Metrics.counter "analysis.absorbed_collisions"
+
+let m_mixture_passes = Obs.Metrics.counter "analysis.mixture_passes"
+
+let m_mixture_steps = Obs.Metrics.counter "analysis.mixture_steps"
+
+let m_lump_builds = Obs.Metrics.counter "analysis.lump_builds"
+
+let m_lump_hits = Obs.Metrics.counter "analysis.lump_hits"
+
+let m_lumped_states = Obs.Metrics.gauge "analysis.lumped_states"
+
+let m_sweep_len = Obs.Metrics.histogram "analysis.sweep_length"
+
 type t = {
   chain : Chain.t;
   mutable unif : (float * Sparse.t) option;
@@ -104,10 +141,12 @@ let uniformized t =
   match t.unif with
   | Some u ->
       t.counters.uniformized_hits <- t.counters.uniformized_hits + 1;
+      Obs.Metrics.incr m_uniformized_hits;
       u
   | None ->
       let u = Chain.uniformized t.chain in
       t.counters.uniformized_builds <- t.counters.uniformized_builds + 1;
+      Obs.Metrics.incr m_uniformized_builds;
       t.unif <- Some u;
       u
 
@@ -117,6 +156,7 @@ let embedded t =
   | None ->
       let e = Chain.embedded t.chain in
       t.counters.embedded_builds <- t.counters.embedded_builds + 1;
+      Obs.Metrics.incr m_embedded_builds;
       t.emb <- Some e;
       e
 
@@ -156,10 +196,12 @@ let weights ?(epsilon = default_epsilon) t time =
   match Hashtbl.find_opt t.weight_tbl key with
   | Some w ->
       t.counters.weight_hits <- t.counters.weight_hits + 1;
+      Obs.Metrics.incr m_weight_hits;
       w
   | None ->
       let w = Fox_glynn.compute ~epsilon (lambda *. time) in
       t.counters.weight_computes <- t.counters.weight_computes + 1;
+      Obs.Metrics.incr m_weight_computes;
       Hashtbl.replace t.weight_tbl key w;
       w
 
@@ -167,10 +209,12 @@ let cached_steady t ~tol compute =
   match Hashtbl.find_opt t.steady_tbl tol with
   | Some pi ->
       t.counters.steady_hits <- t.counters.steady_hits + 1;
+      Obs.Metrics.incr m_steady_hits;
       Vec.copy pi
   | None ->
       let pi = compute () in
       t.counters.steady_solves <- t.counters.steady_solves + 1;
+      Obs.Metrics.incr m_steady_solves;
       Hashtbl.replace t.steady_tbl tol (Vec.copy pi);
       pi
 
@@ -218,10 +262,12 @@ let absorbed ?name t ~pred =
       match Hashtbl.find_opt t.absorbed_named nm with
       | Some sub ->
           t.counters.absorbed_hits <- t.counters.absorbed_hits + 1;
+          Obs.Metrics.incr m_absorbed_hits;
           sub
       | None ->
           let sub = create (Chain.absorbing t.chain ~pred) in
           t.counters.absorbed_builds <- t.counters.absorbed_builds + 1;
+          Obs.Metrics.incr m_absorbed_builds;
           Hashtbl.replace t.absorbed_named nm sub;
           sub)
   | None -> (
@@ -235,13 +281,17 @@ let absorbed ?name t ~pred =
       with
       | Some (_, sub) ->
           t.counters.absorbed_hits <- t.counters.absorbed_hits + 1;
+          Obs.Metrics.incr m_absorbed_hits;
           sub
       | None ->
-          if bucket <> [] then
+          if bucket <> [] then begin
             t.counters.absorbed_collisions <-
               t.counters.absorbed_collisions + 1;
+            Obs.Metrics.incr m_absorbed_collisions
+          end;
           let sub = create (Chain.absorbing t.chain ~pred) in
           t.counters.absorbed_builds <- t.counters.absorbed_builds + 1;
+          Obs.Metrics.incr m_absorbed_builds;
           Hashtbl.replace t.absorbed_pred h
             ((pred_bitmap pred n, sub) :: bucket);
           sub)
@@ -292,12 +342,27 @@ let quotient ?rate_tolerance t ~respect =
   match List.find_opt (fun (p, _) -> p = part) bucket with
   | Some (_, quot) ->
       t.counters.lump_hits <- t.counters.lump_hits + 1;
+      Obs.Metrics.incr m_lump_hits;
       t.counters.lumped_states <- Chain.states quot.q.chain;
+      Obs.Metrics.set_gauge m_lumped_states
+        (float_of_int t.counters.lumped_states);
       quot
   | None ->
-      let lumping = Lumping.lump ?rate_tolerance t.chain ~initial:part in
+      let lumping =
+        Obs.Trace.with_span "analysis.lump" @@ fun span ->
+        let l = Lumping.lump ?rate_tolerance t.chain ~initial:part in
+        if Obs.Trace.recording span then begin
+          Obs.Trace.add_attr span "states" (Obs.Int n);
+          Obs.Trace.add_attr span "blocks"
+            (Obs.Int (Chain.states l.Lumping.quotient))
+        end;
+        l
+      in
       t.counters.lump_builds <- t.counters.lump_builds + 1;
+      Obs.Metrics.incr m_lump_builds;
       t.counters.lumped_states <- Chain.states lumping.Lumping.quotient;
+      Obs.Metrics.set_gauge m_lumped_states
+        (float_of_int t.counters.lumped_states);
       let quot = { lumping; q = create lumping.Lumping.quotient } in
       Hashtbl.replace t.quot_tbl h ((part, quot) :: bucket);
       quot
@@ -379,8 +444,11 @@ let poisson_mixture_multi ?epsilon t ~dir ~coeff start ~times =
   let distinct = List.sort_uniq compare (List.filter (fun tm -> tm > 0.) times) in
   let by_time = Hashtbl.create (List.length distinct + 1) in
   if distinct <> [] then begin
+    Obs.Trace.with_span "analysis.mixture" @@ fun mix_span ->
     let _, p = uniformized t in
+    (* phase 1: Fox-Glynn windows + per-time coefficient streams *)
     let accums =
+      Obs.Trace.with_span "mixture.weights" @@ fun _ ->
       List.map
         (fun tm ->
           let coeff_at, last = coefficients t ~coeff (weights ?epsilon t tm) in
@@ -391,24 +459,36 @@ let poisson_mixture_multi ?epsilon t ~dir ~coeff start ~times =
     in
     let right_max = List.fold_left (fun m a -> max m a.last) 0 accums in
     t.counters.mixture_passes <- t.counters.mixture_passes + 1;
-    let v = ref (Vec.copy start) and next = ref (Vec.zeros n) in
-    for k = 0 to right_max do
-      List.iter
-        (fun a ->
-          if k <= a.last then
-            let c = a.coeff_at k in
-            if c <> 0. then Vec.axpy c !v a.acc)
-        accums;
-      if k < right_max then begin
-        (match dir with
-        | Forward -> Sparse.vec_mul_into !v p !next
-        | Backward -> Sparse.mul_vec_into p !v !next);
-        t.counters.mixture_steps <- t.counters.mixture_steps + 1;
-        let tmp = !v in
-        v := !next;
-        next := tmp
-      end
-    done
+    Obs.Metrics.incr m_mixture_passes;
+    Obs.Metrics.observe m_sweep_len (float_of_int (right_max + 1));
+    if Obs.Trace.recording mix_span then begin
+      Obs.Trace.add_attr mix_span "states" (Obs.Int n);
+      Obs.Trace.add_attr mix_span "times" (Obs.Int (List.length times));
+      Obs.Trace.add_attr mix_span "distinct" (Obs.Int (List.length distinct));
+      Obs.Trace.add_attr mix_span "sweep_length" (Obs.Int (right_max + 1));
+      Obs.Trace.add_attr mix_span "spmvs" (Obs.Int right_max)
+    end;
+    (* phase 2: the shared vector sweep (right_max SpMVs) *)
+    ( Obs.Trace.with_span "mixture.sweep" @@ fun _ ->
+      let v = ref (Vec.copy start) and next = ref (Vec.zeros n) in
+      for k = 0 to right_max do
+        List.iter
+          (fun a ->
+            if k <= a.last then
+              let c = a.coeff_at k in
+              if c <> 0. then Vec.axpy c !v a.acc)
+          accums;
+        if k < right_max then begin
+          (match dir with
+          | Forward -> Sparse.vec_mul_into !v p !next
+          | Backward -> Sparse.mul_vec_into p !v !next);
+          t.counters.mixture_steps <- t.counters.mixture_steps + 1;
+          let tmp = !v in
+          v := !next;
+          next := tmp
+        end
+      done );
+    Obs.Metrics.add m_mixture_steps right_max
   end;
   (* align 1:1 with the caller's list; duplicates get private copies so
      every returned vector can be mutated independently *)

@@ -191,7 +191,19 @@ type stats = {
 (** Cache-effectiveness counters for this session alone (sub-sessions from
     {!absorbed} keep their own). Exposed so tests can assert that repeated
     queries do not rebuild artifacts, and so the bench can report hit
-    rates and kernel work. *)
+    rates and kernel work.
+
+    {b Observability.} These counters are the compatibility view of the
+    {!Obs.Metrics} registry: every bump also feeds the process-wide
+    [analysis.*] instruments (counters of the same names,
+    [analysis.lumped_states] as a gauge, plus an [analysis.sweep_length]
+    histogram), which aggregate across {e all} sessions and domains. With
+    metrics enabled, a fresh registry and a single fresh session therefore
+    agree field by field. When tracing is on, {!poisson_mixture_multi}
+    runs under an [analysis.mixture] span (with [states]/[times]/
+    [sweep_length]/[spmvs] attributes) with [mixture.weights] and
+    [mixture.sweep] child phases, and {!quotient} builds under an
+    [analysis.lump] span. *)
 
 val stats : t -> stats
 

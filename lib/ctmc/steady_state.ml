@@ -16,9 +16,13 @@ let is_irreducible ?analysis m =
    uniformization rate strictly exceeds the maximal exit rate, so every
    state keeps a self-loop) and therefore always converges. *)
 let stationary_of_generator ?tol q =
+  Obs.Trace.with_span "steady_state.stationary" @@ fun span ->
+  if Obs.Trace.recording span then
+    Obs.Trace.add_attr span "states" (Obs.Int (Sparse.rows q));
   match Numeric.Solver.steady_state_gauss_seidel ?tol q with
   | pi, _ -> pi
   | exception Numeric.Solver.Did_not_converge _ ->
+      Obs.Trace.add_attr span "fallback" (Obs.Str "power_iteration");
       let n = Sparse.rows q in
       let max_exit =
         let m = ref 0. in

@@ -16,14 +16,28 @@ type t = {
    lambda (< 25) we normalize with exp(-lambda) directly, which is exact;
    for large lambda we normalize by the window total, which differs from the
    true mass by at most epsilon. *)
-let compute ?(epsilon = 1e-12) lambda =
+(* Window-size telemetry: every compute reports its truncation window to
+   the metrics registry and (when tracing) runs under its own span, so a
+   trace shows where weight computation time goes as lambda*t grows. *)
+let m_computes = Obs.Metrics.counter "fox_glynn.computes"
+
+let m_window = Obs.Metrics.histogram "fox_glynn.window_width"
+
+let report ?obs t =
+  Obs.Metrics.incr m_computes;
+  Obs.Metrics.observe m_window (float_of_int (t.right - t.left + 1));
+  (match obs with Some f -> f t | None -> ());
+  t
+
+let compute ?(epsilon = 1e-12) ?obs lambda =
   if not (Float.is_finite lambda) || lambda < 0. then
     invalid_arg "Fox_glynn.compute: lambda must be finite and non-negative";
   if not (Float.is_finite epsilon) || epsilon <= 0. || epsilon >= 1. then
     invalid_arg "Fox_glynn.compute: epsilon out of (0,1)";
   if lambda = 0. then
-    { lambda; left = 0; right = 0; weights = [| 1. |] }
+    report ?obs { lambda; left = 0; right = 0; weights = [| 1. |] }
   else begin
+    Obs.Trace.with_span "fox_glynn.compute" @@ fun span ->
     let mode = int_of_float (Float.floor lambda) in
     (* Collect unnormalized weights going right then left. *)
     let right_list = ref [] and right_count = ref 0 in
@@ -91,7 +105,12 @@ let compute ?(epsilon = 1e-12) lambda =
       else Array.fold_left ( +. ) 0. weights
     in
     let weights = Array.map (fun x -> x /. norm) weights in
-    { lambda; left; right; weights }
+    if Obs.Trace.recording span then begin
+      Obs.Trace.add_attr span "lambda" (Obs.Float lambda);
+      Obs.Trace.add_attr span "left" (Obs.Int left);
+      Obs.Trace.add_attr span "right" (Obs.Int right)
+    end;
+    report ?obs { lambda; left; right; weights }
   end
 
 let total_mass t = Array.fold_left ( +. ) 0. t.weights

@@ -17,12 +17,18 @@ type t = private {
   weights : float array; (** [weights.(k - left)] = Poisson(lambda; k) *)
 }
 
-val compute : ?epsilon:float -> float -> t
+val compute : ?epsilon:float -> ?obs:(t -> unit) -> float -> t
 (** [compute ~epsilon lambda] computes the truncated weights. [lambda] must
     be finite and non-negative and [epsilon] finite in (0,1) — NaN or
     infinite values raise [Invalid_argument]. [epsilon] defaults to
     [1e-12]. For [lambda = 0.] the
-    window is [[0, 0]] with weight 1. *)
+    window is [[0, 0]] with weight 1.
+
+    [obs] receives the finished window (once per call). Independent of the
+    hook, every compute bumps the [fox_glynn.computes] counter and the
+    [fox_glynn.window_width] histogram in {!Obs.Metrics}, and runs under a
+    [fox_glynn.compute] span (with [lambda]/[left]/[right] attributes)
+    when tracing is enabled. *)
 
 val total_mass : t -> float
 (** Sum of the retained weights (close to, and at most, 1). *)

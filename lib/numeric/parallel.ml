@@ -34,6 +34,13 @@ let map ?domains f xs =
       let lo = w * n / workers and hi = (w + 1) * n / workers in
       Domain.spawn (fun () ->
           Domain.DLS.set in_worker true;
+          (* the span lands in this worker domain's own Obs buffer, so
+             Chrome traces show one track per domain with its chunk *)
+          Obs.Trace.with_span "parallel.chunk" @@ fun span ->
+          if Obs.Trace.recording span then begin
+            Obs.Trace.add_attr span "worker" (Obs.Int w);
+            Obs.Trace.add_attr span "items" (Obs.Int (hi - lo))
+          end;
           for i = lo to hi - 1 do
             output.(i) <- Some (f input.(i))
           done)

@@ -4,16 +4,44 @@ type convergence = {
   converged : bool;
 }
 
-exception Did_not_converge of convergence
+exception
+  Did_not_converge of {
+    solver : string;
+    max_iter : int;
+    info : convergence;
+  }
 
 let () =
   Printexc.register_printer (function
-    | Did_not_converge c ->
+    | Did_not_converge { solver; max_iter; info } ->
         Some
           (Printf.sprintf
-             "Solver.Did_not_converge (iterations=%d, residual=%g)"
-             c.iterations c.residual)
+             "Solver.Did_not_converge: %s did not converge within %d \
+              iterations (last residual %g)"
+             solver max_iter info.residual)
     | _ -> None)
+
+(* Every solve — converged or not — is reported the same way: to the
+   caller's [?obs] hook, to the metrics registry (per-solver counters,
+   last-residual gauge, residual histogram, recent-solve ring) and onto
+   the enclosing trace span. Only then does non-convergence raise, so
+   iteration counts and final residuals are never discarded. *)
+let finish ?obs ~solver ~size ~max_iter span (c : convergence) =
+  (match obs with Some f -> f c | None -> ());
+  Obs.Metrics.record_solve ~solver ~size ~iterations:c.iterations
+    ~residual:c.residual ~converged:c.converged;
+  if Obs.Trace.recording span then begin
+    Obs.Trace.add_attr span "iterations" (Obs.Int c.iterations);
+    Obs.Trace.add_attr span "residual" (Obs.Float c.residual);
+    Obs.Trace.add_attr span "converged" (Obs.Bool c.converged)
+  end;
+  if not c.converged then raise (Did_not_converge { solver; max_iter; info = c })
+
+let span_states solver size f =
+  Obs.Trace.with_span ("solver." ^ solver) (fun span ->
+      if Obs.Trace.recording span then
+        Obs.Trace.add_attr span "states" (Obs.Int size);
+      f span)
 
 let diagonal a =
   let n = Sparse.rows a in
@@ -30,13 +58,14 @@ let check_diagonal name d =
         invalid_arg (Printf.sprintf "Solver.%s: zero diagonal at row %d" name i))
     d
 
-let solve_gauss_seidel ?(tol = 1e-12) ?(max_iter = 100_000) ?x0 a b =
+let solve_gauss_seidel ?(tol = 1e-12) ?(max_iter = 100_000) ?obs ?x0 a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n || Vec.dim b <> n then
     invalid_arg "Solver.solve_gauss_seidel: dimension mismatch";
   let d = diagonal a in
   check_diagonal "solve_gauss_seidel" d;
   let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
+  span_states "gauss_seidel" n @@ fun span ->
   let rec sweep iter =
     let delta = ref 0. in
     for i = 0 to n - 1 do
@@ -48,15 +77,16 @@ let solve_gauss_seidel ?(tol = 1e-12) ?(max_iter = 100_000) ?x0 a b =
       x.(i) <- xi
     done;
     if !delta <= tol then
-      (x, { iterations = iter; residual = !delta; converged = true })
+      { iterations = iter; residual = !delta; converged = true }
     else if iter >= max_iter then
-      raise
-        (Did_not_converge { iterations = iter; residual = !delta; converged = false })
+      { iterations = iter; residual = !delta; converged = false }
     else sweep (iter + 1)
   in
-  sweep 1
+  let c = sweep 1 in
+  finish ?obs ~solver:"gauss_seidel" ~size:n ~max_iter span c;
+  (x, c)
 
-let solve_jacobi ?(tol = 1e-12) ?(max_iter = 100_000) ?x0 a b =
+let solve_jacobi ?(tol = 1e-12) ?(max_iter = 100_000) ?obs ?x0 a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n || Vec.dim b <> n then
     invalid_arg "Solver.solve_jacobi: dimension mismatch";
@@ -64,6 +94,7 @@ let solve_jacobi ?(tol = 1e-12) ?(max_iter = 100_000) ?x0 a b =
   check_diagonal "solve_jacobi" d;
   let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
   let x' = Vec.zeros n in
+  span_states "jacobi" n @@ fun span ->
   let rec sweep iter =
     for i = 0 to n - 1 do
       let acc = ref b.(i) in
@@ -72,28 +103,35 @@ let solve_jacobi ?(tol = 1e-12) ?(max_iter = 100_000) ?x0 a b =
     done;
     let delta = Vec.linf_distance x x' in
     Vec.blit ~src:x' ~dst:x;
-    if delta <= tol then
-      (x, { iterations = iter; residual = delta; converged = true })
+    if delta <= tol then { iterations = iter; residual = delta; converged = true }
     else if iter >= max_iter then
-      raise
-        (Did_not_converge { iterations = iter; residual = delta; converged = false })
+      { iterations = iter; residual = delta; converged = false }
     else sweep (iter + 1)
   in
-  sweep 1
+  let c = sweep 1 in
+  finish ?obs ~solver:"jacobi" ~size:n ~max_iter span c;
+  (x, c)
 
 (* pi Q = 0  <=>  Q^T pi^T = 0. Gauss-Seidel on the transposed system:
    pi(j) <- sum_{i<>j} pi(i) * Q(i,j) / (-Q(j,j)), then renormalize. *)
-let steady_state_gauss_seidel ?(tol = 1e-12) ?(max_iter = 100_000) q =
+let steady_state_gauss_seidel ?(tol = 1e-12) ?(max_iter = 100_000) ?obs q =
   let n = Sparse.rows q in
   if Sparse.cols q <> n then invalid_arg "Solver.steady_state: not square";
   if n = 0 then invalid_arg "Solver.steady_state: empty generator";
   let qt = Sparse.transpose q in
   let d = diagonal q in
   (* A state with exit rate 0 in an irreducible chain means n = 1. *)
-  if n = 1 then (Vec.create 1 1., { iterations = 0; residual = 0.; converged = true })
+  if n = 1 then begin
+    let c = { iterations = 0; residual = 0.; converged = true } in
+    (match obs with Some f -> f c | None -> ());
+    Obs.Metrics.record_solve ~solver:"steady_gauss_seidel" ~size:1
+      ~iterations:0 ~residual:0. ~converged:true;
+    (Vec.create 1 1., c)
+  end
   else begin
     check_diagonal "steady_state_gauss_seidel" d;
     let pi = Vec.create n (1. /. float_of_int n) in
+    span_states "steady_gauss_seidel" n @@ fun span ->
     let rec sweep iter =
       let delta = ref 0. in
       for j = 0 to n - 1 do
@@ -106,31 +144,32 @@ let steady_state_gauss_seidel ?(tol = 1e-12) ?(max_iter = 100_000) q =
       done;
       Vec.normalize_l1 pi;
       if !delta <= tol then
-        (pi, { iterations = iter; residual = !delta; converged = true })
+        { iterations = iter; residual = !delta; converged = true }
       else if iter >= max_iter then
-        raise
-          (Did_not_converge
-             { iterations = iter; residual = !delta; converged = false })
+        { iterations = iter; residual = !delta; converged = false }
       else sweep (iter + 1)
     in
-    sweep 1
+    let c = sweep 1 in
+    finish ?obs ~solver:"steady_gauss_seidel" ~size:n ~max_iter span c;
+    (pi, c)
   end
 
-let power_iteration ?(tol = 1e-12) ?(max_iter = 1_000_000) p pi0 =
+let power_iteration ?(tol = 1e-12) ?(max_iter = 1_000_000) ?obs p pi0 =
   let n = Sparse.rows p in
   if Sparse.cols p <> n || Vec.dim pi0 <> n then
     invalid_arg "Solver.power_iteration: dimension mismatch";
   let pi = Vec.copy pi0 in
   let pi' = Vec.zeros n in
+  span_states "power_iteration" n @@ fun span ->
   let rec step iter =
     Sparse.vec_mul_into pi p pi';
     let delta = Vec.linf_distance pi pi' in
     Vec.blit ~src:pi' ~dst:pi;
-    if delta <= tol then
-      (pi, { iterations = iter; residual = delta; converged = true })
+    if delta <= tol then { iterations = iter; residual = delta; converged = true }
     else if iter >= max_iter then
-      raise
-        (Did_not_converge { iterations = iter; residual = delta; converged = false })
+      { iterations = iter; residual = delta; converged = false }
     else step (iter + 1)
   in
-  step 1
+  let c = step 1 in
+  finish ?obs ~solver:"power_iteration" ~size:n ~max_iter span c;
+  (pi, c)

@@ -3,7 +3,15 @@
     All solvers are matrix-free over {!Sparse.t} and geared towards the two
     systems stochastic model checking needs: the singular steady-state system
     [pi Q = 0, sum pi = 1] and the non-singular reachability systems
-    [(I - A) x = b] with sub-stochastic [A]. *)
+    [(I - A) x = b] with sub-stochastic [A].
+
+    {b Telemetry.} Every solver returns its {!convergence} record, passes it
+    to the caller's [?obs] hook (also on non-convergence, before raising),
+    reports it to the {!Obs} layer ([solver.<name>.*] counters, gauge,
+    residual histogram, and the recent-solve ring — see
+    {!Obs.Metrics.record_solve}) and, when tracing is on, runs under a
+    [solver.<name>] span carrying [states]/[iterations]/[residual]
+    attributes. *)
 
 type convergence = {
   iterations : int;
@@ -11,11 +19,19 @@ type convergence = {
   converged : bool;
 }
 
-exception Did_not_converge of convergence
+exception
+  Did_not_converge of {
+    solver : string;  (** which solver gave up, e.g. ["gauss_seidel"] *)
+    max_iter : int;  (** the iteration limit that was hit *)
+    info : convergence;
+  }
+(** Raised when the iteration limit is hit. The registered exception
+    printer renders a message naming the solver and the limit. *)
 
 val solve_gauss_seidel :
   ?tol:float ->
   ?max_iter:int ->
+  ?obs:(convergence -> unit) ->
   ?x0:Vec.t ->
   Sparse.t ->
   Vec.t ->
@@ -24,11 +40,13 @@ val solve_gauss_seidel :
     Requires non-zero diagonal entries. [tol] (default [1e-12]) bounds the
     max-norm change between sweeps; [max_iter] defaults to [100_000].
     Returns the solution and convergence information; raises
-    [Did_not_converge] when the iteration limit is hit. *)
+    [Did_not_converge] when the iteration limit is hit. [obs] receives the
+    final convergence record exactly once per call, converged or not. *)
 
 val solve_jacobi :
   ?tol:float ->
   ?max_iter:int ->
+  ?obs:(convergence -> unit) ->
   ?x0:Vec.t ->
   Sparse.t ->
   Vec.t ->
@@ -37,14 +55,23 @@ val solve_jacobi :
     (used in tests as a cross-check). *)
 
 val steady_state_gauss_seidel :
-  ?tol:float -> ?max_iter:int -> Sparse.t -> Vec.t * convergence
+  ?tol:float ->
+  ?max_iter:int ->
+  ?obs:(convergence -> unit) ->
+  Sparse.t ->
+  Vec.t * convergence
 (** [steady_state_gauss_seidel q] solves [pi Q = 0] with [sum pi = 1] for an
     {e irreducible} CTMC generator [q] (row [i] holds the rates out of state
     [i]; diagonal holds the negative exit rates). Gauss–Seidel on the
     transposed system with per-sweep normalization. *)
 
 val power_iteration :
-  ?tol:float -> ?max_iter:int -> Sparse.t -> Vec.t -> Vec.t * convergence
+  ?tol:float ->
+  ?max_iter:int ->
+  ?obs:(convergence -> unit) ->
+  Sparse.t ->
+  Vec.t ->
+  Vec.t * convergence
 (** [power_iteration p pi0] iterates [pi <- pi P] to a fixed point; [p] must
     be a stochastic matrix. Used as an independent cross-check of the
     steady-state solver on aperiodic chains. *)

@@ -1,0 +1,512 @@
+type attr =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "obs_monotonic_ns" "obs_monotonic_ns_unboxed"
+[@@noalloc]
+
+(* ------------------------------------------------------------------ *)
+(* Shared JSON helpers (no JSON library in the dependency set)        *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON has no NaN/Infinity literals; map them to null. *)
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.17g" x else "null"
+
+let json_attr = function
+  | Int i -> string_of_int i
+  | Float x -> json_float x
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Bool b -> string_of_bool b
+
+let write_file_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents);
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                   *)
+
+module Metrics = struct
+  let on = ref false
+
+  let enabled () = !on
+
+  let set_enabled b = on := b
+
+  type counter = int Atomic.t
+
+  type gauge = float Atomic.t
+
+  type histogram = {
+    bounds : float array;
+    buckets : int Atomic.t array;  (* length = Array.length bounds + 1 *)
+    h_sum : float Atomic.t;
+  }
+
+  type instrument =
+    | C of counter
+    | G of gauge
+    | H of histogram
+
+  let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+  let registry_mutex = Mutex.create ()
+
+  let register name make describe =
+    Mutex.protect registry_mutex (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some existing -> describe existing
+        | None ->
+            let i = make () in
+            Hashtbl.replace registry name i;
+            describe i)
+
+  let kind_error name =
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics: %S already registered as a different kind"
+         name)
+
+  let counter name =
+    register name
+      (fun () -> C (Atomic.make 0))
+      (function C c -> c | G _ | H _ -> kind_error name)
+
+  let incr c = if !on then ignore (Atomic.fetch_and_add c 1 : int)
+
+  let add c n = if !on then ignore (Atomic.fetch_and_add c n : int)
+
+  let counter_value c = Atomic.get c
+
+  let gauge name =
+    register name
+      (fun () -> G (Atomic.make 0.))
+      (function G g -> g | C _ | H _ -> kind_error name)
+
+  let set_gauge g x = if !on then Atomic.set g x
+
+  (* log-spaced decade grid: residuals (1e-16..1) and counts/widths
+     (1..1e6) both land in meaningful buckets *)
+  let default_buckets =
+    Array.init 23 (fun i -> 10. ** float_of_int (i - 16))
+
+  let histogram ?(buckets = default_buckets) name =
+    Array.iteri
+      (fun i b ->
+        if i > 0 && b <= buckets.(i - 1) then
+          invalid_arg "Obs.Metrics.histogram: buckets must be increasing")
+      buckets;
+    register name
+      (fun () ->
+        H
+          {
+            bounds = Array.copy buckets;
+            buckets = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+            h_sum = Atomic.make 0.;
+          })
+      (function H h -> h | C _ | G _ -> kind_error name)
+
+  let rec atomic_add_float a x =
+    let cur = Atomic.get a in
+    if not (Atomic.compare_and_set a cur (cur +. x)) then atomic_add_float a x
+
+  let bucket_index bounds x =
+    (* first bound >= x; bounds are short (tens), linear scan is fine *)
+    let n = Array.length bounds in
+    let rec go i = if i >= n || x <= bounds.(i) then i else go (i + 1) in
+    go 0
+
+  let observe h x =
+    if !on then begin
+      ignore (Atomic.fetch_and_add h.buckets.(bucket_index h.bounds x) 1 : int);
+      atomic_add_float h.h_sum x
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Solver-convergence ring                                          *)
+
+  type solve = {
+    solver : string;
+    size : int;
+    iterations : int;
+    residual : float;
+    converged : bool;
+  }
+
+  let ring_capacity = 256
+
+  let ring : solve option array = Array.make ring_capacity None
+
+  let ring_next = ref 0 (* total records so far; slot = next mod capacity *)
+
+  let ring_mutex = Mutex.create ()
+
+  let record_solve ~solver ~size ~iterations ~residual ~converged =
+    if !on then begin
+      add (counter (Printf.sprintf "solver.%s.solves" solver)) 1;
+      add (counter (Printf.sprintf "solver.%s.iterations" solver)) iterations;
+      set_gauge (gauge (Printf.sprintf "solver.%s.last_residual" solver)) residual;
+      observe
+        (histogram (Printf.sprintf "solver.%s.residual" solver))
+        residual;
+      let s = { solver; size; iterations; residual; converged } in
+      Mutex.protect ring_mutex (fun () ->
+          ring.(!ring_next mod ring_capacity) <- Some s;
+          ring_next := !ring_next + 1)
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Snapshots                                                        *)
+
+  type snapshot = {
+    counters : (string * int) list;
+    gauges : (string * float) list;
+    histograms : (string * histogram_view) list;
+    solves : solve list;
+  }
+
+  and histogram_view = {
+    bounds : float array;
+    counts : int array;
+    total : int;
+    sum : float;
+  }
+
+  let snapshot () =
+    let cs = ref [] and gs = ref [] and hs = ref [] in
+    Mutex.protect registry_mutex (fun () ->
+        Hashtbl.iter
+          (fun name i ->
+            match i with
+            | C c -> cs := (name, Atomic.get c) :: !cs
+            | G g -> gs := (name, Atomic.get g) :: !gs
+            | H h ->
+                let counts = Array.map Atomic.get h.buckets in
+                hs :=
+                  ( name,
+                    {
+                      bounds = Array.copy h.bounds;
+                      counts;
+                      total = Array.fold_left ( + ) 0 counts;
+                      sum = Atomic.get h.h_sum;
+                    } )
+                  :: !hs)
+          registry);
+    let solves =
+      Mutex.protect ring_mutex (fun () ->
+          let n = min !ring_next ring_capacity in
+          let first = !ring_next - n in
+          List.init n (fun i ->
+              match ring.((first + i) mod ring_capacity) with
+              | Some s -> s
+              | None -> assert false))
+    in
+    let by_name (a, _) (b, _) = compare (a : string) b in
+    {
+      counters = List.sort by_name !cs;
+      gauges = List.sort by_name !gs;
+      histograms = List.sort by_name !hs;
+      solves;
+    }
+
+  let reset () =
+    Mutex.protect registry_mutex (fun () ->
+        Hashtbl.iter
+          (fun _ i ->
+            match i with
+            | C c -> Atomic.set c 0
+            | G g -> Atomic.set g 0.
+            | H h ->
+                Array.iter (fun b -> Atomic.set b 0) h.buckets;
+                Atomic.set h.h_sum 0.)
+          registry);
+    Mutex.protect ring_mutex (fun () ->
+        Array.fill ring 0 ring_capacity None;
+        ring_next := 0)
+
+  let pp ppf s =
+    Format.fprintf ppf "@[<v>metrics:";
+    Format.fprintf ppf "@,  counters:";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "@,    %-44s %d" name v)
+      s.counters;
+    Format.fprintf ppf "@,  gauges:";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "@,    %-44s %g" name v)
+      s.gauges;
+    Format.fprintf ppf "@,  histograms:";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf "@,    %s: total=%d sum=%g" name h.total h.sum;
+        Array.iteri
+          (fun i c ->
+            if c > 0 then
+              if i < Array.length h.bounds then
+                Format.fprintf ppf " [<=%g: %d]" h.bounds.(i) c
+              else Format.fprintf ppf " [>%g: %d]" h.bounds.(i - 1) c)
+          h.counts)
+      s.histograms;
+    if s.solves <> [] then begin
+      Format.fprintf ppf "@,  solves (last %d):" (List.length s.solves);
+      List.iter
+        (fun v ->
+          Format.fprintf ppf "@,    %-22s n=%-7d iterations=%-6d residual=%.3e%s"
+            v.solver v.size v.iterations v.residual
+            (if v.converged then "" else " NOT CONVERGED"))
+        s.solves
+    end;
+    Format.fprintf ppf "@]"
+
+  let to_json s =
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf "{\n  \"counters\": {";
+    List.iteri
+      (fun i (name, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s\n    \"%s\": %d"
+             (if i = 0 then "" else ",")
+             (json_escape name) v))
+      s.counters;
+    Buffer.add_string buf "\n  },\n  \"gauges\": {";
+    List.iteri
+      (fun i (name, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s\n    \"%s\": %s"
+             (if i = 0 then "" else ",")
+             (json_escape name) (json_float v)))
+      s.gauges;
+    Buffer.add_string buf "\n  },\n  \"histograms\": {";
+    List.iteri
+      (fun i (name, h) ->
+        let floats a =
+          String.concat ", " (Array.to_list (Array.map json_float a))
+        in
+        let ints a =
+          String.concat ", " (Array.to_list (Array.map string_of_int a))
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "%s\n    \"%s\": {\"bounds\": [%s], \"counts\": [%s], \
+              \"total\": %d, \"sum\": %s}"
+             (if i = 0 then "" else ",")
+             (json_escape name) (floats h.bounds) (ints h.counts) h.total
+             (json_float h.sum)))
+      s.histograms;
+    Buffer.add_string buf "\n  },\n  \"solves\": [";
+    List.iteri
+      (fun i v ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "%s\n    {\"solver\": \"%s\", \"size\": %d, \"iterations\": %d, \
+              \"residual\": %s, \"converged\": %b}"
+             (if i = 0 then "" else ",")
+             (json_escape v.solver) v.size v.iterations (json_float v.residual)
+             v.converged))
+      s.solves;
+    Buffer.add_string buf "\n  ]\n}\n";
+    Buffer.contents buf
+end
+
+(* ------------------------------------------------------------------ *)
+(* Span tracing                                                       *)
+
+module Trace = struct
+  let on = ref false
+
+  let enabled () = !on
+
+  let output_path = ref None
+
+  type event = {
+    ev_name : string;
+    ph : string;  (* "X" complete, "i" instant *)
+    ts : int64;  (* monotonic ns *)
+    dur : int64;  (* ns; 0 for instants *)
+    tid : int;
+    ev_attrs : (string * attr) list;
+  }
+
+  (* Per-domain event buffers: every domain appends to its own buffer
+     (registered once in [all_buffers]), so recording is contention-free
+     under Numeric.Parallel fan-out; flush walks all buffers. The
+     registry keeps buffers of joined domains alive. *)
+  type buffer = { tid : int; mutable events : event list }
+
+  let all_buffers : buffer list ref = ref []
+
+  let buffers_mutex = Mutex.create ()
+
+  let buffer_key =
+    Domain.DLS.new_key (fun () ->
+        let b = { tid = (Domain.self () :> int); events = [] } in
+        Mutex.protect buffers_mutex (fun () -> all_buffers := b :: !all_buffers);
+        b)
+
+  let t0 = monotonic_ns ()
+
+  type open_span = {
+    sp_name : string;
+    start : int64;
+    mutable sp_attrs : (string * attr) list;
+  }
+
+  type span = No_span | Span of open_span
+
+  let recording = function No_span -> false | Span _ -> true
+
+  let add_attr span key v =
+    match span with
+    | No_span -> ()
+    | Span sp -> sp.sp_attrs <- (key, v) :: List.remove_assoc key sp.sp_attrs
+
+  let record ev =
+    let b = Domain.DLS.get buffer_key in
+    b.events <- ev :: b.events
+
+  let close sp =
+    let now = monotonic_ns () in
+    record
+      {
+        ev_name = sp.sp_name;
+        ph = "X";
+        ts = sp.start;
+        dur = Int64.sub now sp.start;
+        tid = (Domain.self () :> int);
+        ev_attrs = List.rev sp.sp_attrs;
+      }
+
+  let with_span ?attrs name f =
+    if not !on then f No_span
+    else begin
+      let sp =
+        {
+          sp_name = name;
+          start = monotonic_ns ();
+          sp_attrs = (match attrs with Some l -> List.rev l | None -> []);
+        }
+      in
+      match f (Span sp) with
+      | v ->
+          close sp;
+          v
+      | exception e ->
+          add_attr (Span sp) "exception" (Str (Printexc.to_string e));
+          close sp;
+          raise e
+    end
+
+  let instant ?(attrs = []) name =
+    if !on then
+      record
+        {
+          ev_name = name;
+          ph = "i";
+          ts = monotonic_ns ();
+          dur = 0L;
+          tid = (Domain.self () :> int);
+          ev_attrs = attrs;
+        }
+
+  let event_json buf ev =
+    let us ns = Int64.to_float (Int64.sub ns t0) /. 1e3 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\": \"%s\", \"cat\": \"arcade\", \"ph\": \"%s\", \
+          \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d"
+         (json_escape ev.ev_name) ev.ph (us ev.ts)
+         (Int64.to_float ev.dur /. 1e3)
+         ev.tid);
+    (match ev.ph with
+    | "i" -> Buffer.add_string buf ", \"s\": \"t\""
+    | _ -> ());
+    if ev.ev_attrs <> [] then begin
+      Buffer.add_string buf ", \"args\": {";
+      List.iteri
+        (fun i (k, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s\"%s\": %s"
+               (if i = 0 then "" else ", ")
+               (json_escape k) (json_attr v)))
+        ev.ev_attrs;
+      Buffer.add_string buf "}"
+    end;
+    Buffer.add_string buf "}"
+
+  let flush () =
+    match !output_path with
+    | None -> ()
+    | Some path ->
+        let events =
+          Mutex.protect buffers_mutex (fun () ->
+              List.concat_map (fun b -> b.events) !all_buffers)
+        in
+        let events =
+          List.sort (fun a b -> Int64.compare a.ts b.ts) events
+        in
+        let buf = Buffer.create 65536 in
+        Buffer.add_string buf "[";
+        List.iteri
+          (fun i ev ->
+            Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+            event_json buf ev)
+          events;
+        Buffer.add_string buf "\n]\n";
+        write_file_atomic path (Buffer.contents buf)
+
+  let flush_at_exit_armed = ref false
+
+  let set_output path =
+    output_path := path;
+    (match path with
+    | Some _ ->
+        on := true;
+        if not !flush_at_exit_armed then begin
+          flush_at_exit_armed := true;
+          at_exit flush
+        end
+    | None -> on := false)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Environment wiring                                                 *)
+
+let initialized = ref false
+
+let init () =
+  if not !initialized then begin
+    initialized := true;
+    (match Sys.getenv_opt "OBS_TRACE" with
+    | Some path when path <> "" && path <> "0" -> Trace.set_output (Some path)
+    | Some _ | None -> ());
+    match Sys.getenv_opt "OBS_METRICS" with
+    | Some ("" | "0") | None -> ()
+    | Some ("1" | "true" | "yes") ->
+        Metrics.set_enabled true;
+        at_exit (fun () ->
+            Format.eprintf "%a@." Metrics.pp (Metrics.snapshot ()))
+    | Some path ->
+        Metrics.set_enabled true;
+        at_exit (fun () ->
+            write_file_atomic path (Metrics.to_json (Metrics.snapshot ())))
+  end

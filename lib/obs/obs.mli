@@ -1,0 +1,183 @@
+(** Observability: span tracing, a metrics registry, and solver telemetry.
+
+    The numeric pipelines behind the paper's artifacts — uniformization
+    sweeps, Fox–Glynn windows, Gauss–Seidel/Jacobi solves, lumping — are
+    instrumented through this layer. It has two independent sinks:
+
+    - {!Trace}: nestable, monotonic-clock timed spans with key/value
+      attributes, buffered per-domain (safe under {!Numeric.Parallel}
+      fan-out) and flushed as Chrome trace-event JSON, loadable in
+      Perfetto / [chrome://tracing].
+    - {!Metrics}: named counters, gauges and fixed-bucket histograms with
+      O(1) lock-free updates, plus a bounded ring of recent solver-
+      convergence events; dumped with {!Metrics.snapshot} / {!Metrics.pp}
+      / {!Metrics.to_json}.
+
+    Both sinks are {e disabled by default} and effectively free when off:
+    every record site reduces to a single flag check and performs no
+    allocation. Enable them programmatically ({!Trace.set_output},
+    {!Metrics.set_enabled}) or through the environment via {!init}
+    ([OBS_TRACE=<file>], [OBS_METRICS=1|<file>]). *)
+
+type attr =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+      (** Attribute values attached to spans; rendered into the Chrome
+          trace event's [args] object. *)
+
+val monotonic_ns : unit -> int64
+(** Raw monotonic clock (CLOCK_MONOTONIC), nanoseconds from an arbitrary
+    origin. Exposed for callers that time things themselves. *)
+
+val init : unit -> unit
+(** Read the [OBS_*] environment and arm the at-exit hooks. Idempotent.
+
+    - [OBS_TRACE=<file>]: enable tracing; the trace is flushed to [<file>]
+      at process exit (and on every explicit {!Trace.flush}).
+    - [OBS_METRICS=1] (or [true]/[yes]): enable metrics; the snapshot is
+      pretty-printed to stderr at exit.
+    - [OBS_METRICS=<file>]: enable metrics; the snapshot is written to
+      [<file>] as JSON at exit.
+
+    Binaries call this once at startup; libraries never do. *)
+
+(** {1 Metrics registry} *)
+
+module Metrics : sig
+  val enabled : unit -> bool
+
+  val set_enabled : bool -> unit
+  (** Flip the global recording flag. Registration ({!counter} etc.) is
+      always allowed; only the update paths are gated. *)
+
+  (** {2 Instruments}
+
+      Instruments are registered once by name (module-initialization time
+      is fine: registration is cheap and independent of the enabled flag)
+      and updated through their handle. Registration is idempotent — the
+      same name yields the same instrument — but re-registering a name as
+      a different kind raises [Invalid_argument]. Updates are atomic, so
+      instruments shared across domains merge exactly. *)
+
+  type counter
+
+  val counter : string -> counter
+
+  val incr : counter -> unit
+
+  val add : counter -> int -> unit
+
+  val counter_value : counter -> int
+  (** Current value (reads ignore the enabled flag). *)
+
+  type gauge
+
+  val gauge : string -> gauge
+
+  val set_gauge : gauge -> float -> unit
+
+  type histogram
+
+  val histogram : ?buckets:float array -> string -> histogram
+  (** [buckets] are the upper bounds of the fixed buckets, strictly
+      increasing; an implicit overflow bucket catches the rest. The
+      default is a log-spaced decade grid from [1e-16] to [1e6] suited to
+      residuals, window widths and iteration counts alike. [buckets] is
+      ignored when the name is already registered. *)
+
+  val observe : histogram -> float -> unit
+
+  (** {2 Solver-convergence telemetry}
+
+      Iterative solvers report each solve here ({!record_solve}); the
+      registry keeps per-solver aggregate instruments
+      ([solver.<name>.solves], [.iterations], [.last_residual],
+      [.residual] histogram) and a bounded ring of the most recent
+      individual events, so a snapshot shows the final residual and
+      iteration count of every recent steady-state solve. *)
+
+  type solve = {
+    solver : string;  (** e.g. ["gauss_seidel"], ["power_iteration"] *)
+    size : int;  (** number of unknowns *)
+    iterations : int;
+    residual : float;
+    converged : bool;
+  }
+
+  val record_solve :
+    solver:string ->
+    size:int ->
+    iterations:int ->
+    residual:float ->
+    converged:bool ->
+    unit
+
+  (** {2 Snapshots} *)
+
+  type snapshot = {
+    counters : (string * int) list;  (** sorted by name *)
+    gauges : (string * float) list;  (** sorted by name *)
+    histograms : (string * histogram_view) list;  (** sorted by name *)
+    solves : solve list;  (** chronological, bounded ring *)
+  }
+
+  and histogram_view = {
+    bounds : float array;
+    counts : int array;  (** length [Array.length bounds + 1] *)
+    total : int;
+    sum : float;
+  }
+
+  val snapshot : unit -> snapshot
+
+  val pp : Format.formatter -> snapshot -> unit
+
+  val to_json : snapshot -> string
+  (** The snapshot as one JSON object with [counters], [gauges],
+      [histograms] and [solves] members. *)
+
+  val reset : unit -> unit
+  (** Zero every instrument and clear the solve ring, keeping
+      registrations. Meant for tests and for delta measurements. *)
+end
+
+(** {1 Span tracing} *)
+
+module Trace : sig
+  val enabled : unit -> bool
+
+  val set_output : string option -> unit
+  (** [set_output (Some path)] enables tracing and arms an at-exit flush
+      to [path]; [set_output None] disables tracing (buffered events are
+      kept until the next flush). *)
+
+  type span
+  (** An open span. When tracing is disabled this is a weightless dummy:
+      {!with_span} still runs its body, and attribute updates no-op. *)
+
+  val recording : span -> bool
+  (** [true] when the span is live — guard attribute construction with
+      this to keep disabled call sites allocation-free. *)
+
+  val with_span : ?attrs:(string * attr) list -> string -> (span -> 'a) -> 'a
+  (** [with_span name f] times [f] under a span named [name]. Spans nest
+      with the call stack; each domain buffers its own spans, so spans
+      opened inside {!Numeric.Parallel} workers land on that worker's
+      Chrome-trace track. The span is closed (and recorded) even when [f]
+      raises. When tracing is disabled, [f] runs with a dummy span and
+      nothing is recorded or allocated. *)
+
+  val add_attr : span -> string -> attr -> unit
+  (** Attach/overwrite an attribute on an open span; no-op on a dummy. *)
+
+  val instant : ?attrs:(string * attr) list -> string -> unit
+  (** A zero-duration instant event (Chrome phase ["i"]). *)
+
+  val flush : unit -> unit
+  (** Write all events recorded so far to the {!set_output} path as a
+      Chrome trace-event JSON array (atomically: temp file + rename).
+      Events stay buffered, so later flushes rewrite a superset. No-op
+      when no output path is set. *)
+end

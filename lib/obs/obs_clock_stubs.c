@@ -1,0 +1,24 @@
+/* Monotonic clock for Obs span timing.
+
+   CLOCK_MONOTONIC never jumps backwards with wall-clock adjustments, so
+   span durations stay meaningful across NTP slews. The native variant is
+   unboxed and noalloc: reading the clock on the tracing hot path costs a
+   syscall-free vDSO call and nothing on the OCaml heap. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t obs_monotonic_ns_unboxed(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value obs_monotonic_ns(value unit)
+{
+  return caml_copy_int64(obs_monotonic_ns_unboxed(unit));
+}

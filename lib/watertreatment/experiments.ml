@@ -95,13 +95,30 @@ let lines = [ Facility.Line1; Facility.Line2 ]
    above are domain-local). PAR_DOMAINS governs the width. *)
 let parallel_map f xs = Numeric.Parallel.map f xs
 
+(* Span helpers: one span per artifact and one nested span per strategy/
+   series. Series spans run inside Parallel workers, so each lands on its
+   own domain's trace track; the artifact span sits on the spawning
+   domain's track and brackets the whole fan-out. *)
+let artifact_span id f =
+  Obs.Trace.with_span ("experiment." ^ id) (fun _ -> f ())
+
+let series_span id label f =
+  Obs.Trace.with_span (id ^ "/" ^ label) (fun span ->
+      if Obs.Trace.recording span then begin
+        Obs.Trace.add_attr span "artifact" (Obs.Str id);
+        Obs.Trace.add_attr span "strategy" (Obs.Str label)
+      end;
+      f ())
+
 (* ------------------------------------------------------------------ *)
 (* Tables *)
 
 let table1 () =
+  artifact_span "table1" @@ fun () ->
   let rows =
     parallel_map
       (fun config ->
+        series_span "table1" (Facility.config_name config) @@ fun () ->
         Facility.config_name config
         :: List.concat_map
              (fun line ->
@@ -122,9 +139,11 @@ let table1 () =
   }
 
 let table2 () =
+  artifact_span "table2" @@ fun () ->
   let rows =
     parallel_map
       (fun config ->
+        series_span "table2" (Facility.config_name config) @@ fun () ->
         let avail line = Measures.availability (measures line config) in
         let a1 = avail Facility.Line1 and a2 = avail Facility.Line2 in
         [
@@ -148,10 +167,12 @@ let table2 () =
 let default_points = 25
 
 let fig3 ?(points = default_points) () =
+  artifact_span "fig3" @@ fun () ->
   let times = grid 1000. points in
   let series =
     parallel_map
       (fun line ->
+        series_span "fig3" (Facility.line_name line) @@ fun () ->
         let m = reliability_measures line in
         {
           label = "Reliability " ^ Facility.line_name line;
@@ -169,10 +190,12 @@ let fig3 ?(points = default_points) () =
 
 (* Line 1, Disaster 1 (all pumps failed), survivability to a service level *)
 let survivability_fig ~fig_id ~title ~line ~disaster ~configs ~level ~horizon ~points =
+  artifact_span fig_id @@ fun () ->
   let times = grid horizon points in
   let series =
     parallel_map
       (fun config ->
+        series_span fig_id (Facility.config_name config) @@ fun () ->
         let m = measures ?disaster line config in
         {
           label = Facility.config_name config;
@@ -183,10 +206,12 @@ let survivability_fig ~fig_id ~title ~line ~disaster ~configs ~level ~horizon ~p
   { fig_id; title; xlabel = "t in hours"; ylabel = "Probability"; series }
 
 let cost_fig ~fig_id ~title ~kind ~line ~disaster ~configs ~horizon ~points =
+  artifact_span fig_id @@ fun () ->
   let times = grid horizon points in
   let series =
     parallel_map
       (fun config ->
+        series_span fig_id (Facility.config_name config) @@ fun () ->
         let m = measures ?disaster line config in
         let points =
           match kind with

@@ -1,0 +1,560 @@
+(* Tests for the Obs observability layer: Chrome-trace span export
+   (parsed back with a minimal JSON reader, since the dependency set has
+   no JSON library), the metrics registry and its cross-domain merging,
+   solver-convergence telemetry, the Analysis stats/registry agreement,
+   and the guarantee that enabling observability does not perturb
+   analysis results. *)
+
+module Solver = Numeric.Solver
+module Sparse = Numeric.Sparse
+module Chain = Ctmc.Chain
+module Analysis = Ctmc.Analysis
+module Experiments = Watertreatment.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON reader, enough to validate what Obs emits *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let k = String.length word in
+    if !pos + k <= n && String.sub s !pos k = word then begin
+      pos := !pos + k;
+      v
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+          incr pos;
+          Buffer.contents buf
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "truncated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              pos := !pos + 4;
+              (* control characters only; good enough for our own output *)
+              Buffer.add_char buf (Char.chr (code land 0xff))
+          | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          incr pos;
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "expected a value";
+    Jnum (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Jobj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members ((key, v) :: acc)
+            | Some '}' ->
+                incr pos;
+                Jobj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Jlist []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elems (v :: acc)
+            | Some ']' ->
+                incr pos;
+                Jlist (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elems []
+        end
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function Jobj kvs -> List.assoc_opt key kvs | _ -> None
+
+let get_num key ev =
+  match member key ev with
+  | Some (Jnum x) -> x
+  | _ -> Alcotest.fail (Printf.sprintf "missing numeric member %S" key)
+
+let get_str key ev =
+  match member key ev with
+  | Some (Jstr x) -> x
+  | _ -> Alcotest.fail (Printf.sprintf "missing string member %S" key)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains needle hay =
+  let nn = String.length needle and nh = String.length hay in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* burn a little time so nested spans get distinguishable timestamps *)
+let spin () =
+  let acc = ref 0. in
+  for i = 1 to 20_000 do
+    acc := !acc +. Float.sqrt (float_of_int i)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_disabled () =
+  Obs.Trace.set_output None;
+  Alcotest.(check bool) "disabled" false (Obs.Trace.enabled ());
+  let r =
+    Obs.Trace.with_span "off" (fun sp ->
+        Alcotest.(check bool) "dummy span" false (Obs.Trace.recording sp);
+        Obs.Trace.add_attr sp "k" (Obs.Int 1);
+        Obs.Trace.instant "nope";
+        3)
+  in
+  Alcotest.(check int) "body still runs" 3 r
+
+let test_trace_roundtrip () =
+  let path = Filename.temp_file "arcade_obs_trace" ".json" in
+  Obs.Trace.set_output (Some path);
+  Alcotest.(check bool) "enabled" true (Obs.Trace.enabled ());
+  let result =
+    Obs.Trace.with_span "outer"
+      ~attrs:[ ("kind", Obs.Str "test") ]
+      (fun outer ->
+        Alcotest.(check bool) "span is live" true (Obs.Trace.recording outer);
+        Obs.Trace.add_attr outer "answer" (Obs.Int 42);
+        spin ();
+        Obs.Trace.instant "tick";
+        let v = Obs.Trace.with_span "inner" (fun _ -> spin (); 17) in
+        spin ();
+        v)
+  in
+  Alcotest.(check int) "body result" 17 result;
+  Obs.Trace.flush ();
+  Obs.Trace.set_output None;
+  let events =
+    match parse_json (read_file path) with
+    | Jlist evs -> evs
+    | _ -> Alcotest.fail "trace is not a JSON array"
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "trace has events" true (events <> []);
+  List.iter
+    (fun ev ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " present") true (member k ev <> None))
+        [ "name"; "ph"; "ts"; "pid"; "tid" ])
+    events;
+  let ts = List.map (get_num "ts") events in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "events ordered by timestamp" true (sorted ts);
+  let find name =
+    match
+      List.find_opt (fun ev -> member "name" ev = Some (Jstr name)) events
+    with
+    | Some ev -> ev
+    | None -> Alcotest.fail (Printf.sprintf "no event named %S" name)
+  in
+  let outer = find "outer" and inner = find "inner" and tick = find "tick" in
+  Alcotest.(check string) "outer is a complete event" "X" (get_str "ph" outer);
+  Alcotest.(check string) "tick is an instant" "i" (get_str "ph" tick);
+  let o0 = get_num "ts" outer and odur = get_num "dur" outer in
+  let i0 = get_num "ts" inner and idur = get_num "dur" inner in
+  let slack = 1e-3 (* microsecond rounding *) in
+  Alcotest.(check bool) "inner starts inside outer" true (i0 +. slack >= o0);
+  Alcotest.(check bool)
+    "inner ends inside outer" true
+    (i0 +. idur <= o0 +. odur +. slack);
+  let t0 = get_num "ts" tick in
+  Alcotest.(check bool) "instant inside outer" true
+    (t0 +. slack >= o0 && t0 <= o0 +. odur +. slack);
+  match member "args" outer with
+  | Some (Jobj args) ->
+      Alcotest.(check bool)
+        "creation attribute kept" true
+        (List.assoc_opt "kind" args = Some (Jstr "test"));
+      Alcotest.(check bool)
+        "added attribute kept" true
+        (List.assoc_opt "answer" args = Some (Jnum 42.))
+  | _ -> Alcotest.fail "outer span lost its args"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_counters_domains () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "test.parallel_total" in
+  let xs = List.init 100 (fun i -> i + 1) in
+  let ys =
+    Numeric.Parallel.map ~domains:2
+      (fun i ->
+        Obs.Metrics.add c i;
+        i * 2)
+      xs
+  in
+  Alcotest.(check (list int))
+    "map result deterministic"
+    (List.map (fun i -> i * 2) xs)
+    ys;
+  Alcotest.(check int) "adds merged across domains" 5050
+    (Obs.Metrics.counter_value c);
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.incr c;
+  Alcotest.(check int) "disabled incr is a no-op" 5050
+    (Obs.Metrics.counter_value c)
+
+let test_metrics_histogram () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  let h = Obs.Metrics.histogram ~buckets:[| 1.; 10.; 100. |] "test.hist" in
+  List.iter (Obs.Metrics.observe h) [ 0.5; 5.; 50.; 500. ];
+  let snap = Obs.Metrics.snapshot () in
+  (match List.assoc_opt "test.hist" snap.Obs.Metrics.histograms with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some v ->
+      Alcotest.(check (array (float 0.)))
+        "bounds kept" [| 1.; 10.; 100. |] v.Obs.Metrics.bounds;
+      Alcotest.(check (array int))
+        "one observation per bucket" [| 1; 1; 1; 1 |] v.Obs.Metrics.counts;
+      Alcotest.(check int) "total" 4 v.Obs.Metrics.total;
+      Alcotest.(check (float 1e-9)) "sum" 555.5 v.Obs.Metrics.sum);
+  (try
+     ignore (Obs.Metrics.gauge "test.hist");
+     Alcotest.fail "re-registering as a different kind must fail"
+   with Invalid_argument _ -> ());
+  Obs.Metrics.set_enabled false
+
+let test_metrics_json () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "test.json_counter" in
+  Obs.Metrics.add c 7;
+  Obs.Metrics.record_solve ~solver:"unit_test" ~size:3 ~iterations:12
+    ~residual:1e-13 ~converged:true;
+  Obs.Metrics.set_enabled false;
+  let snap = Obs.Metrics.snapshot () in
+  (match List.find_opt (fun s -> s.Obs.Metrics.solver = "unit_test") snap.Obs.Metrics.solves with
+  | Some solve ->
+      Alcotest.(check int) "ring keeps iterations" 12
+        solve.Obs.Metrics.iterations;
+      Alcotest.(check bool) "ring keeps convergence" true
+        solve.Obs.Metrics.converged
+  | None -> Alcotest.fail "recorded solve missing from ring");
+  match parse_json (Obs.Metrics.to_json snap) with
+  | Jobj members ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " member") true (List.mem_assoc k members))
+        [ "counters"; "gauges"; "histograms"; "solves" ];
+      (match List.assoc "counters" members with
+      | Jobj cs ->
+          Alcotest.(check bool)
+            "counter serialized" true
+            (List.assoc_opt "test.json_counter" cs = Some (Jnum 7.))
+      | _ -> Alcotest.fail "counters member is not an object");
+      (match List.assoc "solves" members with
+      | Jlist (_ :: _) -> ()
+      | _ -> Alcotest.fail "solves member is not a non-empty array")
+  | _ -> Alcotest.fail "snapshot JSON is not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Solver telemetry *)
+
+(* 4x + y = 1, x + 3y = 2: diagonally dominant, solution (1/11, 7/11) *)
+let small_system () =
+  let b = Sparse.Builder.create ~rows:2 ~cols:2 in
+  Sparse.Builder.add b 0 0 4.;
+  Sparse.Builder.add b 0 1 1.;
+  Sparse.Builder.add b 1 0 1.;
+  Sparse.Builder.add b 1 1 3.;
+  (Sparse.Builder.to_csr b, [| 1.; 2. |])
+
+let test_solver_obs_hook () =
+  let a, rhs = small_system () in
+  let calls = ref 0 in
+  let x, info =
+    Solver.solve_gauss_seidel
+      ~obs:(fun c ->
+        incr calls;
+        Alcotest.(check bool) "hook sees convergence" true c.Solver.converged)
+      a rhs
+  in
+  Alcotest.(check int) "hook called exactly once" 1 !calls;
+  Alcotest.(check bool) "converged" true info.Solver.converged;
+  Alcotest.(check bool) "iterations counted" true (info.Solver.iterations > 0);
+  Alcotest.(check bool) "residual under tolerance" true
+    (info.Solver.residual <= 1e-12);
+  Alcotest.(check (float 1e-9)) "x.(0)" (1. /. 11.) x.(0);
+  Alcotest.(check (float 1e-9)) "x.(1)" (7. /. 11.) x.(1)
+
+let test_solver_nonconvergence () =
+  let a, rhs = small_system () in
+  let calls = ref 0 in
+  (try
+     ignore
+       (Solver.solve_gauss_seidel ~max_iter:1
+          ~obs:(fun c ->
+            incr calls;
+            Alcotest.(check bool) "hook sees failure" false c.Solver.converged)
+          a rhs);
+     Alcotest.fail "expected Did_not_converge"
+   with
+   | Solver.Did_not_converge { solver; max_iter; info } as exn ->
+     Alcotest.(check string) "solver named" "gauss_seidel" solver;
+     Alcotest.(check int) "iteration limit recorded" 1 max_iter;
+     Alcotest.(check bool) "not converged" false info.Solver.converged;
+     let msg = Printexc.to_string exn in
+     Alcotest.(check bool)
+       ("message names the solver: " ^ msg)
+       true
+       (contains "gauss_seidel" msg);
+     Alcotest.(check bool)
+       ("message names the limit: " ^ msg)
+       true
+       (contains "within 1 iteration" msg));
+  Alcotest.(check int) "hook called exactly once" 1 !calls
+
+let test_solver_ring () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  let m =
+    Chain.of_transitions ~states:3 [ (0, 1, 1.); (1, 2, 2.); (2, 0, 3.) ]
+  in
+  ignore (Ctmc.Steady_state.solve m);
+  Obs.Metrics.set_enabled false;
+  let snap = Obs.Metrics.snapshot () in
+  match
+    List.find_opt
+      (fun s -> s.Obs.Metrics.solver = "steady_gauss_seidel")
+      snap.Obs.Metrics.solves
+  with
+  | Some solve ->
+      Alcotest.(check int) "solve size" 3 solve.Obs.Metrics.size;
+      Alcotest.(check bool) "solve converged" true solve.Obs.Metrics.converged;
+      Alcotest.(check bool) "final residual reported" true
+        (Float.is_finite solve.Obs.Metrics.residual)
+  | None -> Alcotest.fail "steady-state solve missing from ring"
+
+(* ------------------------------------------------------------------ *)
+(* Analysis: stats compatibility view vs the registry *)
+
+let analysis_chain () =
+  Chain.of_transitions ~states:4
+    [ (0, 1, 1.); (1, 2, 2.); (2, 3, 3.); (3, 0, 4.) ]
+
+let test_stats_registry_compat () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  let m = analysis_chain () in
+  let a = Analysis.create m in
+  ignore (Ctmc.Steady_state.solve ~analysis:a m);
+  ignore (Ctmc.Steady_state.solve ~analysis:a m);
+  let pred s = s = 0 in
+  ignore (Ctmc.Transient.probability_at ~analysis:a m ~pred 2.);
+  ignore (Ctmc.Transient.probability_at ~analysis:a m ~pred 2.);
+  Obs.Metrics.set_enabled false;
+  let s = Analysis.stats a in
+  let snap = Obs.Metrics.snapshot () in
+  let registry name =
+    Option.value ~default:0 (List.assoc_opt name snap.Obs.Metrics.counters)
+  in
+  Alcotest.(check bool) "session did steady work" true (s.Analysis.steady_solves > 0);
+  Alcotest.(check bool) "session did mixture work" true (s.Analysis.mixture_passes > 0);
+  List.iter
+    (fun (name, field) -> Alcotest.(check int) name field (registry name))
+    [
+      ("analysis.steady_solves", s.Analysis.steady_solves);
+      ("analysis.steady_hits", s.Analysis.steady_hits);
+      ("analysis.uniformized_builds", s.Analysis.uniformized_builds);
+      ("analysis.uniformized_hits", s.Analysis.uniformized_hits);
+      ("analysis.weight_computes", s.Analysis.weight_computes);
+      ("analysis.weight_hits", s.Analysis.weight_hits);
+      ("analysis.mixture_passes", s.Analysis.mixture_passes);
+      ("analysis.mixture_steps", s.Analysis.mixture_steps);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Observability must not change analysis results *)
+
+let figure_values fig =
+  List.concat_map
+    (fun s -> List.map snd s.Experiments.points)
+    fig.Experiments.series
+
+let test_obs_invariance () =
+  let run () =
+    Experiments.clear_cache ();
+    ( figure_values (Experiments.fig3 ~points:3 ()),
+      figure_values (Experiments.fig4 ~points:3 ()) )
+  in
+  let base3, base4 = run () in
+  let path = Filename.temp_file "arcade_obs_invariance" ".json" in
+  Obs.Trace.set_output (Some path);
+  Obs.Metrics.set_enabled true;
+  let obs3, obs4 = run () in
+  Obs.Trace.flush ();
+  Obs.Trace.set_output None;
+  Obs.Metrics.set_enabled false;
+  let check_same label xs ys =
+    Alcotest.(check int) (label ^ " same size") (List.length xs)
+      (List.length ys);
+    List.iter2
+      (fun x y -> Alcotest.(check (float 1e-12)) (label ^ " point") x y)
+      xs ys
+  in
+  check_same "fig3" base3 obs3;
+  check_same "fig4" base4 obs4;
+  let events =
+    match parse_json (read_file path) with
+    | Jlist evs -> evs
+    | _ -> Alcotest.fail "experiment trace is not a JSON array"
+  in
+  Sys.remove path;
+  let has name =
+    List.exists
+      (fun ev ->
+        match member "name" ev with Some (Jstr s) -> s = name | _ -> false)
+      events
+  in
+  Alcotest.(check bool) "fig3 artifact span" true (has "experiment.fig3");
+  Alcotest.(check bool) "fig4 artifact span" true (has "experiment.fig4");
+  Alcotest.(check bool) "mixture span" true (has "analysis.mixture");
+  Alcotest.(check bool) "fox-glynn span" true (has "fox_glynn.compute");
+  let metrics = Obs.Metrics.snapshot () in
+  Alcotest.(check bool) "mixture passes counted" true
+    (Option.value ~default:0
+       (List.assoc_opt "analysis.mixture_passes" metrics.Obs.Metrics.counters)
+    > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_trace_disabled;
+          Alcotest.test_case "chrome-trace roundtrip" `Quick
+            test_trace_roundtrip;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters merge across domains" `Quick
+            test_metrics_counters_domains;
+          Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram;
+          Alcotest.test_case "snapshot json" `Quick test_metrics_json;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "obs hook" `Quick test_solver_obs_hook;
+          Alcotest.test_case "non-convergence error" `Quick
+            test_solver_nonconvergence;
+          Alcotest.test_case "solve ring" `Quick test_solver_ring;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "stats matches registry" `Quick
+            test_stats_registry_compat;
+          Alcotest.test_case "observability does not change results" `Slow
+            test_obs_invariance;
+        ] );
+    ]
