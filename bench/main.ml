@@ -12,7 +12,8 @@
    Ctmc.Analysis session (the cached path all measures now run through).
 
    Environment knobs: BENCH_POINTS (curve samples in part 1, default 15),
-   BENCH_SKIP_ARTIFACTS=1 (skip part 1), BENCH_SKIP_ABLATIONS=1,
+   BATCH (stream count of the batched-vs-unbatched kernel contrast,
+   default 5), BENCH_SKIP_ARTIFACTS=1 (skip part 1), BENCH_SKIP_ABLATIONS=1,
    BENCH_SKIP_MICRO=1 (skip part 2), PAR_DOMAINS (domain fan-out width
    for part 1 and the per-config series inside each artifact; default
    Domain.recommended_domain_count, 1 = sequential), BENCH_JSON=<path>
@@ -335,6 +336,80 @@ let kernel_counters () =
   Format.printf "kernel: 10-pt accumulated curve -> %a@."
     Ctmc.Analysis.pp_stats a;
   let s = Ctmc.Analysis.stats a in
+  (* Blocked-kernel contrast (the BATCH knob, default 5): the same K
+     fig7-style Tail_over_lambda streams (accumulated cost over a
+     10-point grid to t=50) evaluated as K separate single-stream sweeps
+     and as one width-K blocked sweep on the same warmed session. CI
+     gates on batched_seconds < unbatched_seconds. *)
+  let batch_width = max 1 (getenv_int "BATCH" 5) in
+  let chain = (Core.Measures.built m).Core.Semantics.chain in
+  let batch_times = grid 10 50. in
+  let start = Ctmc.Chain.initial chain in
+  let streams =
+    List.init batch_width (fun _ ->
+        {
+          Ctmc.Analysis.start;
+          coeff = Ctmc.Analysis.Tail_over_lambda;
+          times = batch_times;
+        })
+  in
+  let time_min f =
+    (* best of three: the first rep doubles as warm-up *)
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let unbatched_seconds =
+    time_min (fun () ->
+        List.iter
+          (fun b ->
+            ignore
+              (Ctmc.Analysis.poisson_mixture_multi a ~dir:Ctmc.Analysis.Forward
+                 ~coeff:b.Ctmc.Analysis.coeff b.Ctmc.Analysis.start
+                 ~times:b.Ctmc.Analysis.times
+                : Numeric.Vec.t list))
+          streams)
+  in
+  let before = Ctmc.Analysis.stats a in
+  let batched_seconds =
+    time_min (fun () ->
+        ignore
+          (Ctmc.Analysis.poisson_mixture_batch a ~dir:Ctmc.Analysis.Forward
+             streams
+            : Numeric.Vec.t list list))
+  in
+  let after = Ctmc.Analysis.stats a in
+  let passes =
+    max 1 (after.Ctmc.Analysis.batch_passes - before.Ctmc.Analysis.batch_passes)
+  in
+  let sweeps_per_solve =
+    (after.Ctmc.Analysis.mixture_steps - before.Ctmc.Analysis.mixture_steps)
+    / passes
+  in
+  (* streamed-bytes estimate of one blocked sweep: CSR values (8 B) and
+     column indices (4 B) per stored entry (transitions + uniformization
+     diagonal), row pointers (4 B), and the K-wide interleaved vectors
+     read and written once per state per step *)
+  let full_states = float_of_int (Ctmc.Chain.states chain) in
+  let nnz = float_of_int (Ctmc.Chain.transition_count chain) +. full_states in
+  let step_bytes =
+    (nnz *. 12.) +. ((full_states +. 1.) *. 4.)
+    +. (float_of_int batch_width *. 16. *. full_states)
+  in
+  let spmv_gbps =
+    float_of_int sweeps_per_solve *. step_bytes /. batched_seconds /. 1e9
+  in
+  Format.printf
+    "kernel: %d-stream fig7 sweep -> batched %.4f s vs unbatched %.4f s \
+     (%.2fx, ~%.2f GB/s)@."
+    batch_width batched_seconds unbatched_seconds
+    (unbatched_seconds /. batched_seconds)
+    spmv_gbps;
   let ml = Core.Measures.analyze ~lump:true model_line2_frf1 in
   let al = Core.Measures.analysis ml in
   ignore (Core.Measures.availability ml);
@@ -349,6 +424,13 @@ let kernel_counters () =
     ("mixture_passes", float_of_int s.Ctmc.Analysis.mixture_passes);
     ("mixture_steps", float_of_int s.Ctmc.Analysis.mixture_steps);
     ("states", float_of_int states);
+    ("batch_width", float_of_int batch_width);
+    ("batched_seconds", batched_seconds);
+    ("unbatched_seconds", unbatched_seconds);
+    ("sweeps_per_solve", float_of_int sweeps_per_solve);
+    ("spmv_gb_per_s", spmv_gbps);
+    ("batch_passes", float_of_int after.Ctmc.Analysis.batch_passes);
+    ("batch_columns", float_of_int after.Ctmc.Analysis.batch_columns);
     ("lump_builds", float_of_int sl.Ctmc.Analysis.lump_builds);
     ("lump_hits", float_of_int sl.Ctmc.Analysis.lump_hits);
     ("lumped_states", float_of_int sl.Ctmc.Analysis.lumped_states);
@@ -451,7 +533,7 @@ let write_json path ~artifacts ~kernel ~ablations ~micro =
   Buffer.add_string buf
     (String.concat ", "
        (List.map
-          (fun (name, v) -> Printf.sprintf "\"%s\": %.0f" (json_escape name) v)
+          (fun (name, v) -> Printf.sprintf "\"%s\": %.6g" (json_escape name) v)
           kernel));
   Buffer.add_string buf "},\n";
   json_timings buf "ablations" "seconds" ablations;

@@ -73,6 +73,15 @@ let analyze ?max_states ?initial ?lump model =
   in
   wrap ?lump built
 
+(* The 5-strategy comparison as one call: each model builds and wraps
+   independently (they have distinct state spaces, so their sweeps cannot
+   share a matrix), fanned out over domains. The cross-strategy batching
+   happens inside each model: every measure suite rides the blocked
+   kernels ({!cost_curves}, the multi-RHS steady-state weights, the
+   multi-time sweeps). *)
+let analyze_all ?max_states ?lump models =
+  Numeric.Parallel.map (fun model -> analyze ?max_states ?lump model) models
+
 let analyze_mixed_disasters ?max_states ?lump model disasters =
   if disasters = [] then invalid_arg "Measures.analyze_mixed_disasters: empty mixture";
   let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. disasters in
@@ -242,6 +251,12 @@ let instantaneous_cost_curve t ~times =
 let accumulated_cost_curve t ~times =
   span "accumulated_cost_curve" @@ fun () ->
   Ctmc.Rewards.accumulated_curve ~lump:t.lump ~analysis:t.analysis (chain t)
+    ~reward:(Semantics.cost_structure t.built)
+    ~times
+
+let cost_curves t ~times =
+  span "cost_curves" @@ fun () ->
+  Ctmc.Rewards.both_curves ~lump:t.lump ~analysis:t.analysis (chain t)
     ~reward:(Semantics.cost_structure t.built)
     ~times
 

@@ -26,6 +26,15 @@ val analyze :
     it — once; all measures below reuse both. [lump] (default [false])
     turns on quotient-based evaluation for every measure. *)
 
+val analyze_all :
+  ?max_states:int -> ?lump:bool -> Model.t list -> t list
+(** [analyze_all models] is [List.map analyze models] fanned out over
+    domains ({!Numeric.Parallel.map}) — the paper's 5-strategy comparison
+    as one batch. Results align 1:1 with [models]. Within each model the
+    measure suite runs on the blocked kernels (multi-RHS steady-state
+    weights, batched cost curves), so the per-strategy suites are
+    individually cheaper as well as concurrent. *)
+
 val analyze_mixed_disasters :
   ?max_states:int -> ?lump:bool -> Model.t -> (float * string list) list -> t
 (** GOOD analysis under an uncertain disaster: each [(weight, failed)] pair
@@ -127,6 +136,12 @@ val accumulated_cost : t -> time:float -> float
 val instantaneous_cost_curve : t -> times:float list -> (float * float) list
 
 val accumulated_cost_curve : t -> times:float list -> (float * float) list
+
+val cost_curves :
+  t -> times:float list -> (float * float) list * (float * float) list
+(** [(instantaneous, accumulated)] cost curves over one time grid from a
+    single blocked sweep ({!Ctmc.Rewards.both_curves}) — both cost
+    figures of a strategy for the price of one pass. *)
 
 val steady_state_cost : t -> float
 

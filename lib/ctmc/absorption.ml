@@ -32,17 +32,22 @@ let expected_reward_to ?(tol = 1e-13) ?analysis m ~reward ~psi =
     let emb = Analysis.embedded a in
     let b = Sparse.Builder.create ~rows:nm ~cols:nm in
     let rhs = Vec.zeros nm in
+    let states = Array.make nm 0 in
     for s = 0 to n - 1 do
       if solve_states.(s) then begin
         (* a state certain to reach psi and not in psi must have exits *)
         assert (exits.(s) > 0.);
+        states.(index.(s)) <- s;
         rhs.(index.(s)) <- reward.(s) /. exits.(s);
         Sparse.Builder.add b index.(s) index.(s) 1.;
         Sparse.iter_row emb s (fun j p ->
             if solve_states.(j) then Sparse.Builder.add b index.(s) index.(j) (-.p))
       end
     done;
-    let x, _ = Numeric.Solver.solve_gauss_seidel ~tol (Sparse.Builder.to_csr b) rhs in
+    let order = Analysis.scc_solve_order a states in
+    let x, _ =
+      Numeric.Solver.solve_gauss_seidel ~tol ~order (Sparse.Builder.to_csr b) rhs
+    in
     for s = 0 to n - 1 do
       if solve_states.(s) then result.(s) <- x.(index.(s))
     done

@@ -1,5 +1,6 @@
 module Vec = Numeric.Vec
 module Sparse = Numeric.Sparse
+module Multivec = Numeric.Multivec
 module Fox_glynn = Numeric.Fox_glynn
 module Digraph = Numeric.Digraph
 
@@ -16,6 +17,8 @@ type counters = {
   mutable absorbed_collisions : int;
   mutable mixture_passes : int;
   mutable mixture_steps : int;
+  mutable batch_passes : int;
+  mutable batch_columns : int;
   mutable lump_builds : int;
   mutable lump_hits : int;
   mutable lumped_states : int;
@@ -34,6 +37,8 @@ type stats = {
   absorbed_collisions : int;
   mixture_passes : int;
   mixture_steps : int;
+  batch_passes : int;
+  batch_columns : int;
   lump_builds : int;
   lump_hits : int;
   lumped_states : int;
@@ -67,6 +72,10 @@ let m_absorbed_collisions = Obs.Metrics.counter "analysis.absorbed_collisions"
 let m_mixture_passes = Obs.Metrics.counter "analysis.mixture_passes"
 
 let m_mixture_steps = Obs.Metrics.counter "analysis.mixture_steps"
+
+let m_batch_passes = Obs.Metrics.counter "analysis.batch_passes"
+
+let m_batch_columns = Obs.Metrics.counter "analysis.batch_columns"
 
 let m_lump_builds = Obs.Metrics.counter "analysis.lump_builds"
 
@@ -124,6 +133,8 @@ let create chain =
         absorbed_collisions = 0;
         mixture_passes = 0;
         mixture_steps = 0;
+        batch_passes = 0;
+        batch_columns = 0;
         lump_builds = 0;
         lump_hits = 0;
         lumped_states = 0;
@@ -187,6 +198,22 @@ let bottom_sccs t =
 let is_irreducible t =
   let _, members = sccs t in
   Array.length members = 1
+
+(* Gauss–Seidel update order for an (I - A) system whose row [i] solves
+   original state [states.(i)]: rows sorted by the Tarjan component index
+   of their state. Component indices are a reverse topological order of
+   the condensation (an edge [u -> v] between distinct SCCs has
+   [comp u > comp v]), so ascending order updates a state's successors
+   before the state itself — on DAG-like subgraphs every dependency chain
+   resolves within a single sweep. The full-chain order stays valid for
+   any subset of states because restriction cannot add edges. *)
+let scc_solve_order t states =
+  let comp, _ = sccs t in
+  let order = Array.init (Array.length states) (fun i -> i) in
+  Array.stable_sort
+    (fun a b -> compare comp.(states.(a)) comp.(states.(b)))
+    order;
+  order
 
 let default_epsilon = 1e-12
 
@@ -403,11 +430,21 @@ type coeff = Pmf | Tail_over_lambda
    time. A K-point curve therefore costs one pass of SpMVs (the window of
    t_K) instead of K windowed segments. *)
 
-(* per-distinct-time state for the shared sweep *)
+(* The batched variant generalizes this further: K independent coefficient
+   streams — each with its own start vector, coefficient kind and time
+   grid — ride one {e blocked} sweep. The K iterates live in a
+   {!Multivec.t} and each step is a single blocked SpMV
+   ({!Sparse.vec_mul_multi_into} / {!Sparse.mul_multi_into}), so the
+   matrix is decoded once per step no matter how many streams ride it. *)
+
+type batch = { start : Vec.t; coeff : coeff; times : float list }
+
+(* per (stream, distinct time) state for the shared sweep *)
 type accum = {
   acc : Vec.t;
   coeff_at : int -> float;
   last : int;  (** no non-zero coefficients beyond this step index *)
+  col : int;  (** which column of the iterate block feeds this accumulator *)
 }
 
 let coefficients t ~coeff w =
@@ -430,6 +467,117 @@ let coefficients t ~coeff w =
       in
       (f, right - 1)
 
+let poisson_mixture_batch ?epsilon t ~dir batches =
+  if batches = [] then []
+  else begin
+    let n = Chain.states t.chain in
+    List.iter
+      (fun b ->
+        if Vec.dim b.start <> n then
+          invalid_arg "Analysis.poisson_mixture_batch: dimension mismatch";
+        List.iter
+          (fun tm ->
+            if tm < 0. then
+              invalid_arg "Analysis.poisson_mixture_batch: negative time")
+          b.times)
+      batches;
+    let barr = Array.of_list batches in
+    let width = Array.length barr in
+    let distinct =
+      Array.map
+        (fun b -> List.sort_uniq compare (List.filter (fun tm -> tm > 0.) b.times))
+        barr
+    in
+    let by_time = Array.map (fun ts -> Hashtbl.create (List.length ts + 1)) distinct in
+    if Array.exists (fun l -> l <> []) distinct then begin
+      Obs.Trace.with_span "analysis.mixture" @@ fun mix_span ->
+      let _, p = uniformized t in
+      (* phase 1: Fox-Glynn windows + per-(stream, time) coefficient
+         streams *)
+      let accums =
+        Obs.Trace.with_span "mixture.weights" @@ fun _ ->
+        List.concat
+          (List.init width (fun col ->
+               List.map
+                 (fun tm ->
+                   let coeff_at, last =
+                     coefficients t ~coeff:barr.(col).coeff
+                       (weights ?epsilon t tm)
+                   in
+                   let a = { acc = Vec.zeros n; coeff_at; last; col } in
+                   Hashtbl.replace by_time.(col) tm a.acc;
+                   a)
+                 distinct.(col)))
+      in
+      let right_max = List.fold_left (fun m a -> max m a.last) 0 accums in
+      let total_times =
+        Array.fold_left (fun s b -> s + List.length b.times) 0 barr
+      in
+      t.counters.mixture_passes <- t.counters.mixture_passes + 1;
+      Obs.Metrics.incr m_mixture_passes;
+      t.counters.batch_passes <- t.counters.batch_passes + 1;
+      Obs.Metrics.incr m_batch_passes;
+      t.counters.batch_columns <- t.counters.batch_columns + width;
+      Obs.Metrics.add m_batch_columns width;
+      Obs.Metrics.observe m_sweep_len (float_of_int (right_max + 1));
+      if Obs.Trace.recording mix_span then begin
+        Obs.Trace.add_attr mix_span "states" (Obs.Int n);
+        Obs.Trace.add_attr mix_span "batch_width" (Obs.Int width);
+        Obs.Trace.add_attr mix_span "times" (Obs.Int total_times);
+        Obs.Trace.add_attr mix_span "distinct"
+          (Obs.Int (List.length accums));
+        Obs.Trace.add_attr mix_span "sweep_length" (Obs.Int (right_max + 1));
+        Obs.Trace.add_attr mix_span "spmvs" (Obs.Int right_max)
+      end;
+      (* phase 2: the shared blocked sweep (right_max blocked SpMVs, each
+         one matrix pass for all [width] streams) *)
+      ( Obs.Trace.with_span "mixture.sweep" @@ fun sweep_span ->
+        if Obs.Trace.recording sweep_span then
+          Obs.Trace.add_attr sweep_span "batch_width" (Obs.Int width);
+        let v = ref (Multivec.of_cols (Array.map (fun b -> b.start) barr)) in
+        let next = ref (Multivec.create ~dim:n ~width) in
+        for k = 0 to right_max do
+          List.iter
+            (fun a ->
+              if k <= a.last then
+                let c = a.coeff_at k in
+                if c <> 0. then Multivec.axpy_from_col c !v a.col a.acc)
+            accums;
+          if k < right_max then begin
+            (match dir with
+            | Forward -> Sparse.vec_mul_multi_into !v p !next
+            | Backward -> Sparse.mul_multi_into p !v !next);
+            t.counters.mixture_steps <- t.counters.mixture_steps + 1;
+            let tmp = !v in
+            v := !next;
+            next := tmp
+          end
+        done );
+      Obs.Metrics.add m_mixture_steps right_max
+    end;
+    (* align 1:1 with each stream's time list; duplicates get private
+       copies so every returned vector can be mutated independently *)
+    List.mapi
+      (fun col b ->
+        let at_zero () =
+          match b.coeff with
+          | Pmf -> Vec.copy b.start
+          | Tail_over_lambda -> Vec.zeros n
+        in
+        let handed_out = Hashtbl.create 8 in
+        List.map
+          (fun tm ->
+            if tm = 0. then at_zero ()
+            else if Hashtbl.mem handed_out tm then
+              Vec.copy (Hashtbl.find by_time.(col) tm)
+            else begin
+              Hashtbl.add handed_out tm ();
+              Hashtbl.find by_time.(col) tm
+            end)
+          b.times)
+      batches
+  end
+
 let poisson_mixture_multi ?epsilon t ~dir ~coeff start ~times =
   List.iter
     (fun tm ->
@@ -437,71 +585,9 @@ let poisson_mixture_multi ?epsilon t ~dir ~coeff start ~times =
     times;
   if Vec.dim start <> Chain.states t.chain then
     invalid_arg "Analysis.poisson_mixture_multi: dimension mismatch";
-  let n = Vec.dim start in
-  let at_zero () =
-    match coeff with Pmf -> Vec.copy start | Tail_over_lambda -> Vec.zeros n
-  in
-  let distinct = List.sort_uniq compare (List.filter (fun tm -> tm > 0.) times) in
-  let by_time = Hashtbl.create (List.length distinct + 1) in
-  if distinct <> [] then begin
-    Obs.Trace.with_span "analysis.mixture" @@ fun mix_span ->
-    let _, p = uniformized t in
-    (* phase 1: Fox-Glynn windows + per-time coefficient streams *)
-    let accums =
-      Obs.Trace.with_span "mixture.weights" @@ fun _ ->
-      List.map
-        (fun tm ->
-          let coeff_at, last = coefficients t ~coeff (weights ?epsilon t tm) in
-          let a = { acc = Vec.zeros n; coeff_at; last } in
-          Hashtbl.replace by_time tm a.acc;
-          a)
-        distinct
-    in
-    let right_max = List.fold_left (fun m a -> max m a.last) 0 accums in
-    t.counters.mixture_passes <- t.counters.mixture_passes + 1;
-    Obs.Metrics.incr m_mixture_passes;
-    Obs.Metrics.observe m_sweep_len (float_of_int (right_max + 1));
-    if Obs.Trace.recording mix_span then begin
-      Obs.Trace.add_attr mix_span "states" (Obs.Int n);
-      Obs.Trace.add_attr mix_span "times" (Obs.Int (List.length times));
-      Obs.Trace.add_attr mix_span "distinct" (Obs.Int (List.length distinct));
-      Obs.Trace.add_attr mix_span "sweep_length" (Obs.Int (right_max + 1));
-      Obs.Trace.add_attr mix_span "spmvs" (Obs.Int right_max)
-    end;
-    (* phase 2: the shared vector sweep (right_max SpMVs) *)
-    ( Obs.Trace.with_span "mixture.sweep" @@ fun _ ->
-      let v = ref (Vec.copy start) and next = ref (Vec.zeros n) in
-      for k = 0 to right_max do
-        List.iter
-          (fun a ->
-            if k <= a.last then
-              let c = a.coeff_at k in
-              if c <> 0. then Vec.axpy c !v a.acc)
-          accums;
-        if k < right_max then begin
-          (match dir with
-          | Forward -> Sparse.vec_mul_into !v p !next
-          | Backward -> Sparse.mul_vec_into p !v !next);
-          t.counters.mixture_steps <- t.counters.mixture_steps + 1;
-          let tmp = !v in
-          v := !next;
-          next := tmp
-        end
-      done );
-    Obs.Metrics.add m_mixture_steps right_max
-  end;
-  (* align 1:1 with the caller's list; duplicates get private copies so
-     every returned vector can be mutated independently *)
-  let handed_out = Hashtbl.create 8 in
-  List.map
-    (fun tm ->
-      if tm = 0. then at_zero ()
-      else if Hashtbl.mem handed_out tm then Vec.copy (Hashtbl.find by_time tm)
-      else begin
-        Hashtbl.add handed_out tm ();
-        Hashtbl.find by_time tm
-      end)
-    times
+  match poisson_mixture_batch ?epsilon t ~dir [ { start; coeff; times } ] with
+  | [ rs ] -> rs
+  | _ -> assert false
 
 let poisson_mixture ?epsilon t ~dir ~coeff start ~time =
   if time < 0. then invalid_arg "Analysis.poisson_mixture: negative time";
@@ -526,6 +612,8 @@ let stats t =
     absorbed_collisions = c.absorbed_collisions;
     mixture_passes = c.mixture_passes;
     mixture_steps = c.mixture_steps;
+    batch_passes = c.batch_passes;
+    batch_columns = c.batch_columns;
     lump_builds = c.lump_builds;
     lump_hits = c.lump_hits;
     lumped_states = c.lumped_states;
@@ -536,8 +624,9 @@ let pp_stats ppf t =
   Format.fprintf ppf
     "analysis: unif %d built/%d hits, fg %d computed/%d hits, steady %d \
      solved/%d hits, absorbed %d built/%d hits/%d collisions, mixture %d \
-     passes/%d steps, lump %d built/%d hits (%d states)"
+     passes/%d steps, batch %d passes/%d columns, lump %d built/%d hits \
+     (%d states)"
     s.uniformized_builds s.uniformized_hits s.weight_computes s.weight_hits
     s.steady_solves s.steady_hits s.absorbed_builds s.absorbed_hits
-    s.absorbed_collisions s.mixture_passes s.mixture_steps s.lump_builds
-    s.lump_hits s.lumped_states
+    s.absorbed_collisions s.mixture_passes s.mixture_steps s.batch_passes
+    s.batch_columns s.lump_builds s.lump_hits s.lumped_states

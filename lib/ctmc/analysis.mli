@@ -56,6 +56,17 @@ val bottom_sccs : t -> int list array
 
 val is_irreducible : t -> bool
 
+val scc_solve_order : t -> int array -> int array
+(** [scc_solve_order t states] is a Gauss–Seidel update order (a
+    permutation of [0 .. Array.length states - 1]) for an [(I - A)]
+    linear system whose row [i] concerns original state [states.(i)]:
+    rows sorted by the Tarjan component index of their state (ties keep
+    the natural order). Since component indices reverse-topologically
+    order the condensation, ascending order updates a state's successors
+    before the state itself, which collapses the sweep count on DAG-like
+    subgraphs (e.g. reachability systems of acyclic reliability models).
+    Uses the session-cached {!sccs}. *)
+
 val cached_steady : t -> tol:float -> (unit -> Numeric.Vec.t) -> Numeric.Vec.t
 (** [cached_steady t ~tol compute] returns the memoized steady-state vector
     for tolerance [tol], running [compute] only on the first call. The
@@ -160,6 +171,29 @@ val poisson_mixture_multi :
     Raises [Invalid_argument] on any negative time or on a dimension
     mismatch. *)
 
+type batch = {
+  start : Numeric.Vec.t;  (** this stream's [v_0] *)
+  coeff : coeff;
+  times : float list;  (** evaluation grid, as in {!poisson_mixture_multi} *)
+}
+(** One coefficient stream of a batched sweep. *)
+
+val poisson_mixture_batch :
+  ?epsilon:float -> t -> dir:dir -> batch list -> Numeric.Vec.t list list
+(** [poisson_mixture_batch t ~dir batches] evaluates K independent
+    mixture streams — each with its own start vector, coefficient kind
+    and time grid, but sharing the chain and direction — with {e one}
+    blocked sweep: the K iterates form a {!Numeric.Multivec.t} and every
+    step is a single blocked SpMV, so the matrix is decoded once per step
+    for all K streams (this is how an instantaneous- and an
+    accumulated-cost curve, or several initial distributions, ride one
+    uniformization). The sweep runs to the largest Fox–Glynn right edge
+    across all streams; streams with shorter windows simply stop
+    accumulating early. Results align 1:1 with [batches] and with each
+    stream's [times] (same duplicate/zero-time semantics as
+    {!poisson_mixture_multi}). [poisson_mixture_multi] is the
+    single-stream special case and delegates here. *)
+
 (** {2 Instrumentation} *)
 
 type stats = {
@@ -180,8 +214,16 @@ type stats = {
       (** sweeps of the shared uniformization kernel ({!poisson_mixture} /
           {!poisson_mixture_multi} invocations that did numerical work) *)
   mixture_steps : int;
-      (** SpMVs performed across all kernel sweeps — the observable a
+      (** matrix passes performed across all kernel sweeps (a blocked step
+          counts once however many streams ride it) — the observable a
           multi-point curve saves on versus per-point segments *)
+  batch_passes : int;
+      (** {!poisson_mixture_batch} sweeps that did numerical work
+          (including the single-stream ones delegated from
+          {!poisson_mixture_multi}) *)
+  batch_columns : int;
+      (** total stream count across those sweeps; [batch_columns /
+          batch_passes] is the mean batch width *)
   lump_builds : int;  (** lumpings computed by {!quotient} *)
   lump_hits : int;  (** {!quotient} calls served from the memo table *)
   lumped_states : int;
@@ -199,11 +241,12 @@ type stats = {
     [analysis.lumped_states] as a gauge, plus an [analysis.sweep_length]
     histogram), which aggregate across {e all} sessions and domains. With
     metrics enabled, a fresh registry and a single fresh session therefore
-    agree field by field. When tracing is on, {!poisson_mixture_multi}
-    runs under an [analysis.mixture] span (with [states]/[times]/
-    [sweep_length]/[spmvs] attributes) with [mixture.weights] and
-    [mixture.sweep] child phases, and {!quotient} builds under an
-    [analysis.lump] span. *)
+    agree field by field. When tracing is on, {!poisson_mixture_batch}
+    (and hence {!poisson_mixture_multi}) runs under an [analysis.mixture]
+    span (with [states]/[batch_width]/[times]/[sweep_length]/[spmvs]
+    attributes) with [mixture.weights] and [mixture.sweep] child phases
+    ([mixture.sweep] carries [batch_width] too), and {!quotient} builds
+    under an [analysis.lump] span. *)
 
 val stats : t -> stats
 

@@ -85,7 +85,7 @@ let interval_until ?epsilon ?analysis m ~phi ~psi ~lower ~upper =
      states: solve (I - A) x = b where A is the embedded matrix restricted
      to maybe states and b the one-step probability into psi;
    - everything else: probability 0. *)
-let unbounded_until ?(tol = 1e-13) ?analysis m ~phi ~psi =
+let unbounded_until ?(tol = 1e-13) ?(scc_order = true) ?analysis m ~phi ~psi =
   let n = Chain.states m in
   let result = Vec.zeros n in
   (* graph restricted to edges leaving phi-and-not-psi states *)
@@ -111,24 +111,32 @@ let unbounded_until ?(tol = 1e-13) ?analysis m ~phi ~psi =
     if psi s then result.(s) <- 1.
   done;
   if nm > 0 then begin
-    let emb = Analysis.embedded (Analysis.for_chain analysis m) in
+    let a = Analysis.for_chain analysis m in
+    let emb = Analysis.embedded a in
     (* (I - A) x = b *)
     let b = Sparse.Builder.create ~rows:nm ~cols:nm in
     let rhs = Vec.zeros nm in
+    let states = Array.make nm 0 in
     for s = 0 to n - 1 do
       if maybe.(s) then begin
+        states.(index.(s)) <- s;
         Sparse.Builder.add b index.(s) index.(s) 1.;
         Sparse.iter_row emb s (fun j p ->
             if psi j then rhs.(index.(s)) <- rhs.(index.(s)) +. p
             else if maybe.(j) then Sparse.Builder.add b index.(s) index.(j) (-.p))
       end
     done;
-    let x, _ = Numeric.Solver.solve_gauss_seidel ~tol (Sparse.Builder.to_csr b) rhs in
+    (* sweeping successors-first (SCC topological order) collapses the
+       iteration count on DAG-like phi-regions *)
+    let order = if scc_order then Some (Analysis.scc_solve_order a states) else None in
+    let x, _ =
+      Numeric.Solver.solve_gauss_seidel ~tol ?order (Sparse.Builder.to_csr b) rhs
+    in
     for s = 0 to n - 1 do
       if maybe.(s) then result.(s) <- x.(index.(s))
     done
   end;
   result
 
-let eventually ?tol ?analysis m ~psi =
-  unbounded_until ?tol ?analysis m ~phi:(fun _ -> true) ~psi
+let eventually ?tol ?scc_order ?analysis m ~psi =
+  unbounded_until ?tol ?scc_order ?analysis m ~phi:(fun _ -> true) ~psi

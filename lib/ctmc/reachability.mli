@@ -67,6 +67,7 @@ val interval_until :
 
 val unbounded_until :
   ?tol:float ->
+  ?scc_order:bool ->
   ?analysis:Analysis.t ->
   Chain.t ->
   phi:(int -> bool) ->
@@ -74,8 +75,17 @@ val unbounded_until :
   Numeric.Vec.t
 (** Per-state probability of [phi U psi] (no time bound). Exact 0 states
     (cannot reach [psi] within [phi]) are identified graph-theoretically
-    before solving, so the linear system is non-singular. *)
+    before solving, so the linear system is non-singular. [scc_order]
+    (default [true]) sweeps the Gauss–Seidel solve in SCC topological
+    order ({!Analysis.scc_solve_order}), which converges in a handful of
+    sweeps on DAG-like models; pass [false] for the natural state order
+    (same fixpoint, more sweeps). *)
 
 val eventually :
-  ?tol:float -> ?analysis:Analysis.t -> Chain.t -> psi:(int -> bool) -> Numeric.Vec.t
+  ?tol:float ->
+  ?scc_order:bool ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  psi:(int -> bool) ->
+  Numeric.Vec.t
 (** [eventually m ~psi] is [unbounded_until m ~phi:(fun _ -> true) ~psi]. *)

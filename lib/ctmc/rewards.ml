@@ -79,6 +79,32 @@ let accumulated_curve ?epsilon ?(lump = false) ?analysis m ~reward ~times =
   in
   List.map2 (fun t w -> (t, Vec.dot w reward)) times weighted
 
+(* Instantaneous and accumulated cost curves share one BLOCKED sweep: a
+   Pmf stream and a Tail_over_lambda stream from the same start ride the
+   same uniformization, so the matrix is decoded once per step for both
+   figures instead of once per curve. *)
+let both_curves ?epsilon ?(lump = false) ?analysis m ~reward ~times =
+  check_reward m reward;
+  List.iter
+    (fun t -> if t < 0. then invalid_arg "Rewards.both_curves: negative time")
+    times;
+  let a, m, reward =
+    if lump then lumped analysis m ~reward
+    else (Analysis.for_chain analysis m, m, reward)
+  in
+  let start = Chain.initial m in
+  match
+    Analysis.poisson_mixture_batch ?epsilon a ~dir:Analysis.Forward
+      [
+        { Analysis.start; coeff = Analysis.Pmf; times };
+        { Analysis.start; coeff = Analysis.Tail_over_lambda; times };
+      ]
+  with
+  | [ pis; ws ] ->
+      ( List.map2 (fun t pi -> (t, Vec.dot pi reward)) times pis,
+        List.map2 (fun t w -> (t, Vec.dot w reward)) times ws )
+  | _ -> assert false
+
 let steady_state ?tol ?(lump = false) ?analysis m ~reward =
   check_reward m reward;
   let analysis, m, reward =

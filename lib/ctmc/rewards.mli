@@ -66,6 +66,21 @@ val accumulated_curve :
     result is aligned 1:1 with [times] (order preserved, duplicates
     kept). *)
 
+val both_curves :
+  ?epsilon:float ->
+  ?lump:bool ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  reward:structure ->
+  times:float list ->
+  (float * float) list * (float * float) list
+(** [(instantaneous_curve, accumulated_curve)] over the same time grid
+    from {e one} blocked sweep ({!Analysis.poisson_mixture_batch}): the
+    [Pmf] and [Tail_over_lambda] coefficient streams ride the same
+    uniformization, so both figures cost a single pass of blocked SpMVs.
+    Point values equal {!instantaneous_curve} and {!accumulated_curve}
+    respectively. *)
+
 val steady_state :
   ?tol:float -> ?lump:bool -> ?analysis:Analysis.t -> Chain.t -> reward:structure -> float
 (** Long-run average reward rate. *)

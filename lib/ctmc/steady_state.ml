@@ -1,5 +1,6 @@
 module Vec = Numeric.Vec
 module Sparse = Numeric.Sparse
+module Multivec = Numeric.Multivec
 
 (* Matches the Numeric.Solver iterative-solver default; used as the cache
    key when the caller does not pass an explicit tolerance. *)
@@ -75,6 +76,68 @@ let add_local_solution ?tol m members weight result =
       let pi = stationary_of_generator ?tol (Sparse.Builder.to_csr b) in
       Array.iteri (fun i s -> result.(s) <- result.(s) +. (weight *. pi.(i))) members
 
+(* weights.(c) = P(eventually enter class c) from the initial
+   distribution. Initial mass already sitting in a class counts directly;
+   mass on transient states is pushed through ONE multi-RHS Gauss–Seidel
+   solve of (I - A) X = B over the transient states — A the embedded
+   matrix restricted to them, column c of B the one-step probability into
+   class c — instead of one scalar reachability solve per class. The
+   system is non-singular (every transient state eventually leaves the
+   transient set) and the blocked sweep decodes the matrix once for all
+   classes, in SCC topological order. *)
+let bscc_weights ?tol a m bsccs in_bscc =
+  let n = Chain.states m in
+  let nb = Array.length bsccs in
+  let init = Chain.initial m in
+  let weights = Array.make nb 0. in
+  let transient_mass = ref 0. in
+  Array.iteri
+    (fun s p ->
+      if p <> 0. then
+        if in_bscc.(s) >= 0 then weights.(in_bscc.(s)) <- weights.(in_bscc.(s)) +. p
+        else transient_mass := !transient_mass +. p)
+    init;
+  let index = Array.make n (-1) in
+  let count = ref 0 in
+  for s = 0 to n - 1 do
+    if in_bscc.(s) < 0 then begin
+      index.(s) <- !count;
+      incr count
+    end
+  done;
+  let nt = !count in
+  if nt > 0 && !transient_mass > 0. then begin
+    let emb = Analysis.embedded a in
+    let bld = Sparse.Builder.create ~rows:nt ~cols:nt in
+    let rhs = Multivec.create ~dim:nt ~width:nb in
+    let states = Array.make nt 0 in
+    for s = 0 to n - 1 do
+      if in_bscc.(s) < 0 then begin
+        states.(index.(s)) <- s;
+        Sparse.Builder.add bld index.(s) index.(s) 1.;
+        Sparse.iter_row emb s (fun j p ->
+            let c = in_bscc.(j) in
+            if c >= 0 then
+              Multivec.set rhs index.(s) c (Multivec.get rhs index.(s) c +. p)
+            else Sparse.Builder.add bld index.(s) index.(j) (-.p))
+      end
+    done;
+    let order = Analysis.scc_solve_order a states in
+    let tol = Option.value tol ~default:1e-13 in
+    let x, _ =
+      Numeric.Solver.solve_gauss_seidel_multi ~tol ~order
+        (Sparse.Builder.to_csr bld) rhs
+    in
+    Array.iteri
+      (fun s p ->
+        if p <> 0. && in_bscc.(s) < 0 then
+          for c = 0 to nb - 1 do
+            weights.(c) <- weights.(c) +. (p *. Multivec.get x index.(s) c)
+          done)
+      init
+  end;
+  weights
+
 let solve_fresh ?tol a m =
   let n = Chain.states m in
   let _, sccs = Analysis.sccs a in
@@ -84,14 +147,10 @@ let solve_fresh ?tol a m =
     let result = Vec.zeros n in
     let in_bscc = Array.make n (-1) in
     Array.iteri (fun c members -> List.iter (fun s -> in_bscc.(s) <- c) members) bsccs;
+    let weights = bscc_weights ?tol a m bsccs in_bscc in
     Array.iteri
       (fun c members ->
-        (* weight = P(eventually enter class c) from the initial distribution *)
-        let reach =
-          Reachability.eventually ?tol ~analysis:a m ~psi:(fun s -> in_bscc.(s) = c)
-        in
-        let weight = Vec.dot (Chain.initial m) reach in
-        if weight > 0. then add_local_solution ?tol m members weight result)
+        if weights.(c) > 0. then add_local_solution ?tol m members weights.(c) result)
       bsccs;
     result
   end
@@ -104,18 +163,31 @@ let solve ?tol ?analysis m =
         (fun () -> solve_fresh ?tol a m)
   | Some _ | None -> solve_fresh ?tol (Analysis.create m) m
 
-let long_run_probability ?tol ?(lump = false) ?analysis m ~pred =
-  let pi, pred =
+let long_run_probabilities ?tol ?(lump = false) ?analysis m ~preds =
+  let pi, preds =
     if lump then begin
       (* stationary block masses of the quotient equal the summed original
-         masses (ordinary lumpability), so the pred-mass is preserved *)
+         masses (ordinary lumpability), so every pred-mass is preserved;
+         one quotient respects all the predicates at once *)
       let a = Analysis.for_chain analysis m in
-      let quot = Analysis.quotient a ~respect:[ Analysis.Pred pred ] in
+      let quot =
+        Analysis.quotient a
+          ~respect:(List.map (fun p -> Analysis.Pred p) preds)
+      in
       let qa = quot.Analysis.q in
-      (solve ?tol ~analysis:qa (Analysis.chain qa), Analysis.block_pred quot pred)
+      ( solve ?tol ~analysis:qa (Analysis.chain qa),
+        List.map (Analysis.block_pred quot) preds )
     end
-    else (solve ?tol ?analysis m, pred)
+    else (solve ?tol ?analysis m, preds)
   in
-  let acc = ref 0. in
-  Array.iteri (fun s p -> if pred s then acc := !acc +. p) pi;
-  !acc
+  List.map
+    (fun pred ->
+      let acc = ref 0. in
+      Array.iteri (fun s p -> if pred s then acc := !acc +. p) pi;
+      !acc)
+    preds
+
+let long_run_probability ?tol ?lump ?analysis m ~pred =
+  match long_run_probabilities ?tol ?lump ?analysis m ~preds:[ pred ] with
+  | [ x ] -> x
+  | _ -> assert false

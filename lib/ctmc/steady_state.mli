@@ -6,6 +6,12 @@
     solutions by the probability of reaching each class from the initial
     distribution — exactly PRISM's treatment of CSL's [S] operator.
 
+    The class reach-weights come from {e one} multi-RHS Gauss–Seidel
+    solve over the transient states — one right-hand-side column per
+    recurrent class, swept together in SCC topological order
+    ({!Numeric.Solver.solve_gauss_seidel_multi}) — rather than one scalar
+    reachability solve per class.
+
     With an [?analysis] session the SCC/BSCC decomposition, the embedded
     matrix behind the reach-weights and the solved stationary vector
     itself (keyed by tolerance) are memoized, so availability and
@@ -32,5 +38,17 @@ val long_run_probability :
     solve runs on the pred-respecting lumping quotient
     ({!Analysis.quotient}); stationary block masses equal summed state
     masses, so the result is exact. *)
+
+val long_run_probabilities :
+  ?tol:float ->
+  ?lump:bool ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  preds:(int -> bool) list ->
+  float list
+(** Batch form of {!long_run_probability}: one stationary solve serves
+    every predicate, and with [~lump:true] a single quotient respecting
+    {e all} the predicates is built (instead of one per predicate).
+    Results align 1:1 with [preds]. *)
 
 val is_irreducible : ?analysis:Analysis.t -> Chain.t -> bool

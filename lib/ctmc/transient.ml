@@ -26,6 +26,40 @@ let curve ?epsilon ?analysis m ~times =
   in
   List.map2 (fun t pi -> (t, pi)) times pis
 
+(* K start distributions through one blocked sweep: the batched kernel
+   decodes the uniformized matrix once per step for all of them. *)
+let distribution_batch ?epsilon ?analysis m ~starts ~times =
+  List.iter
+    (fun t ->
+      if t < 0. then invalid_arg "Transient.distribution_batch: negative time")
+    times;
+  List.iter
+    (fun start ->
+      if Vec.dim start <> Chain.states m then
+        invalid_arg "Transient.distribution_batch: dimension mismatch")
+    starts;
+  let a = Analysis.for_chain analysis m in
+  Analysis.poisson_mixture_batch ?epsilon a ~dir:Analysis.Forward
+    (List.map
+       (fun start -> { Analysis.start; coeff = Analysis.Pmf; times })
+       starts)
+
+let backward_batch ?epsilon ?analysis m vs t =
+  if t < 0. then invalid_arg "Transient.backward_batch: negative time";
+  List.iter
+    (fun v ->
+      if Vec.dim v <> Chain.states m then
+        invalid_arg "Transient.backward_batch: dimension mismatch")
+    vs;
+  if t = 0. then List.map Vec.copy vs
+  else
+    let a = Analysis.for_chain analysis m in
+    Analysis.poisson_mixture_batch ?epsilon a ~dir:Analysis.Backward
+      (List.map
+         (fun v -> { Analysis.start = v; coeff = Analysis.Pmf; times = [ t ] })
+         vs)
+    |> List.map (function [ r ] -> r | _ -> assert false)
+
 let mass pred pi =
   let acc = ref 0. in
   Array.iteri (fun s p -> if pred s then acc := !acc +. p) pi;

@@ -40,6 +40,19 @@ val curve :
     preserved (no sorting), and duplicate times each yield their own
     point. An empty [times] yields [[]]. *)
 
+val distribution_batch :
+  ?epsilon:float ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  starts:Numeric.Vec.t list ->
+  times:float list ->
+  Numeric.Vec.t list list
+(** [distribution_batch m ~starts ~times] evaluates the transient
+    distribution from each start vector at each time with {e one} blocked
+    sweep ({!Analysis.poisson_mixture_batch}): the uniformized matrix is
+    decoded once per step for all K starts. Result [i] aligns with start
+    [i] and, within it, 1:1 with [times] (same semantics as {!curve}). *)
+
 val probability_at :
   ?epsilon:float ->
   ?lump:bool ->
@@ -67,3 +80,14 @@ val backward :
     [~lump:true] the iteration runs on the quotient that respects [v]
     (so [v] is block-constant) and the per-block result is lifted back —
     exact for ordinary lumpability. *)
+
+val backward_batch :
+  ?epsilon:float ->
+  ?analysis:Analysis.t ->
+  Chain.t ->
+  Numeric.Vec.t list ->
+  float ->
+  Numeric.Vec.t list
+(** [backward_batch m vs t] is [List.map (fun v -> backward m v t) vs]
+    computed with one blocked sweep — e.g. the value vectors of several
+    bounded-until targets over the same chain and bound. *)

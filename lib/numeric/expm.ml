@@ -1,3 +1,5 @@
+module A1 = Bigarray.Array1
+
 let dims a =
   let n = Array.length a in
   Array.iter
@@ -5,57 +7,92 @@ let dims a =
     a;
   n
 
-let mat_mul a b =
-  let n = Array.length a in
-  Array.init n (fun i ->
-      Array.init n (fun j ->
-          let acc = ref 0. in
-          for k = 0 to n - 1 do
-            acc := !acc +. (a.(i).(k) *. b.(k).(j))
-          done;
-          !acc))
+(* Dense n×n matrices live in a {!Multivec} row-major (row [i] is the
+   width-n block of index [i]), so the scaling-and-squaring loop runs on
+   flat float64 buffers and shares the axpy/scale/norm helpers with the
+   rest of the kernel layer instead of nested [float array array] loops. *)
 
-let mat_add a b =
-  Array.mapi (fun i row -> Array.mapi (fun j x -> x +. b.(i).(j)) row) a
+let of_rows n a =
+  let m = Multivec.create ~dim:n ~width:n in
+  let d = Multivec.data m in
+  for i = 0 to n - 1 do
+    let base = i * n in
+    let row = a.(i) in
+    for j = 0 to n - 1 do
+      A1.unsafe_set d (base + j) (Array.unsafe_get row j)
+    done
+  done;
+  m
 
-let mat_scale s a = Array.map (Array.map (fun x -> s *. x)) a
+let to_rows m =
+  let n = Multivec.dim m in
+  Array.init n (fun i -> Array.init n (fun j -> Multivec.get m i j))
 
-let identity n = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.))
+let identity_mv n =
+  let m = Multivec.create ~dim:n ~width:n in
+  for i = 0 to n - 1 do
+    Multivec.set m i i 1.
+  done;
+  m
 
-let inf_norm a =
-  Array.fold_left
-    (fun acc row ->
-      Float.max acc (Array.fold_left (fun s x -> s +. Float.abs x) 0. row))
-    0. a
+(* c <- a * b in ikj order: the inner loop streams one row of [b] against
+   one scalar of [a], all three buffers contiguous. *)
+let mat_mul_into n a b c =
+  Multivec.fill c 0.;
+  let ad = Multivec.data a and bd = Multivec.data b and cd = Multivec.data c in
+  for i = 0 to n - 1 do
+    let ib = i * n in
+    for k = 0 to n - 1 do
+      let aik = A1.unsafe_get ad (ib + k) in
+      if aik <> 0. then begin
+        let kb = k * n in
+        for j = 0 to n - 1 do
+          A1.unsafe_set cd (ib + j)
+            (A1.unsafe_get cd (ib + j) +. (aik *. A1.unsafe_get bd (kb + j)))
+        done
+      end
+    done
+  done
 
 let expm a =
   let n = dims a in
   if n = 0 then [||]
   else begin
+    let am = of_rows n a in
     (* scaling: find k with ||a / 2^k|| <= 0.5 *)
-    let norm = inf_norm a in
+    let norm = Multivec.abs_row_sum_max am in
     let k =
       if norm <= 0.5 then 0
       else max 0 (int_of_float (Float.ceil (Float.log (norm /. 0.5) /. Float.log 2.)))
     in
-    let scaled = mat_scale (1. /. Float.pow 2. (float_of_int k)) a in
+    Multivec.scale_uniform (1. /. Float.pow 2. (float_of_int k)) am;
     (* Taylor series sum_j scaled^j / j!, converges fast for norm <= 0.5 *)
-    let result = ref (identity n) in
-    let term = ref (identity n) in
+    let result = ref (identity_mv n) in
+    let term = ref (identity_mv n) in
+    let next = ref (Multivec.create ~dim:n ~width:n) in
     let j = ref 1 in
     let continue = ref true in
     while !continue do
-      term := mat_scale (1. /. float_of_int !j) (mat_mul !term scaled);
-      result := mat_add !result !term;
-      if inf_norm !term < 1e-18 || !j > 60 then continue := false;
+      mat_mul_into n !term am !next;
+      Multivec.scale_uniform (1. /. float_of_int !j) !next;
+      let t = !term in
+      term := !next;
+      next := t;
+      Multivec.axpy_uniform 1. !term !result;
+      if Multivec.abs_row_sum_max !term < 1e-18 || !j > 60 then
+        continue := false;
       incr j
     done;
     (* squaring *)
     let out = ref !result in
+    let scratch = ref (Multivec.create ~dim:n ~width:n) in
     for _ = 1 to k do
-      out := mat_mul !out !out
+      mat_mul_into n !out !out !scratch;
+      let t = !out in
+      out := !scratch;
+      scratch := t
     done;
-    !out
+    to_rows !out
   end
 
 let expm_generator q t =

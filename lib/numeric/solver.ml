@@ -1,7 +1,10 @@
+type criterion = Absolute | Relative
+
 type convergence = {
   iterations : int;
   residual : float;
   converged : bool;
+  criterion : criterion option;
 }
 
 exception
@@ -58,35 +61,76 @@ let check_diagonal name d =
         invalid_arg (Printf.sprintf "Solver.%s: zero diagonal at row %d" name i))
     d
 
-let solve_gauss_seidel ?(tol = 1e-12) ?(max_iter = 100_000) ?obs ?x0 a b =
+let check_order name n = function
+  | None -> ()
+  | Some o ->
+      if Array.length o <> n then
+        invalid_arg
+          (Printf.sprintf "Solver.%s: order has length %d for %d rows" name
+             (Array.length o) n);
+      let seen = Array.make n false in
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= n || seen.(i) then
+            invalid_arg
+              (Printf.sprintf "Solver.%s: order is not a permutation" name);
+          seen.(i) <- true)
+        o
+
+let max_abs v =
+  let m = ref 0. in
+  Array.iter (fun x -> let a = Float.abs x in if a > !m then m := a) v;
+  !m
+
+(* Which convergence test fired, if any. The absolute max-norm test is
+   checked first; [rel_tol] additionally accepts a sweep whose change is
+   small relative to the current iterate's magnitude, which is what keeps
+   ill-conditioned large-N chains from iterating forever (or, with a
+   loose absolute tolerance, from false-converging at the wrong scale —
+   callers pair a tight [tol] with a [rel_tol]). *)
+let fired ~tol ~rel_tol ~scale delta =
+  if delta <= tol then Some Absolute
+  else
+    match rel_tol with
+    | Some r when delta <= r *. scale -> Some Relative
+    | _ -> None
+
+(* Per-column iteration counts of the multi-RHS solvers: the regression
+   oracle for SCC ordering (ordered sweeps should shift this histogram
+   left). *)
+let column_iterations =
+  Obs.Metrics.histogram
+    ~buckets:[| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 5000. |]
+    "solver.column_iterations"
+
+let solve_gauss_seidel ?(tol = 1e-12) ?rel_tol ?(max_iter = 100_000) ?obs
+    ?order ?x0 a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n || Vec.dim b <> n then
     invalid_arg "Solver.solve_gauss_seidel: dimension mismatch";
   let d = diagonal a in
   check_diagonal "solve_gauss_seidel" d;
+  check_order "solve_gauss_seidel" n order;
   let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
   span_states "gauss_seidel" n @@ fun span ->
   let rec sweep iter =
-    let delta = ref 0. in
-    for i = 0 to n - 1 do
-      let acc = ref b.(i) in
-      Sparse.iter_row a i (fun j v -> if j <> i then acc := !acc -. (v *. x.(j)));
-      let xi = !acc /. d.(i) in
-      let change = Float.abs (xi -. x.(i)) in
-      if change > !delta then delta := change;
-      x.(i) <- xi
-    done;
-    if !delta <= tol then
-      { iterations = iter; residual = !delta; converged = true }
-    else if iter >= max_iter then
-      { iterations = iter; residual = !delta; converged = false }
-    else sweep (iter + 1)
+    let delta = Sparse.gauss_seidel_sweep ?order a ~diag:d ~b ~x in
+    let scale = if rel_tol = None then 0. else max_abs x in
+    match fired ~tol ~rel_tol ~scale delta with
+    | Some crit ->
+        { iterations = iter; residual = delta; converged = true;
+          criterion = Some crit }
+    | None ->
+        if iter >= max_iter then
+          { iterations = iter; residual = delta; converged = false;
+            criterion = None }
+        else sweep (iter + 1)
   in
   let c = sweep 1 in
   finish ?obs ~solver:"gauss_seidel" ~size:n ~max_iter span c;
   (x, c)
 
-let solve_jacobi ?(tol = 1e-12) ?(max_iter = 100_000) ?obs ?x0 a b =
+let solve_jacobi ?(tol = 1e-12) ?rel_tol ?(max_iter = 100_000) ?obs ?x0 a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n || Vec.dim b <> n then
     invalid_arg "Solver.solve_jacobi: dimension mismatch";
@@ -96,25 +140,141 @@ let solve_jacobi ?(tol = 1e-12) ?(max_iter = 100_000) ?obs ?x0 a b =
   let x' = Vec.zeros n in
   span_states "jacobi" n @@ fun span ->
   let rec sweep iter =
-    for i = 0 to n - 1 do
-      let acc = ref b.(i) in
-      Sparse.iter_row a i (fun j v -> if j <> i then acc := !acc -. (v *. x.(j)));
-      x'.(i) <- !acc /. d.(i)
-    done;
+    Sparse.jacobi_sweep a ~diag:d ~b ~x ~x';
     let delta = Vec.linf_distance x x' in
     Vec.blit ~src:x' ~dst:x;
-    if delta <= tol then { iterations = iter; residual = delta; converged = true }
-    else if iter >= max_iter then
-      { iterations = iter; residual = delta; converged = false }
-    else sweep (iter + 1)
+    let scale = if rel_tol = None then 0. else max_abs x in
+    match fired ~tol ~rel_tol ~scale delta with
+    | Some crit ->
+        { iterations = iter; residual = delta; converged = true;
+          criterion = Some crit }
+    | None ->
+        if iter >= max_iter then
+          { iterations = iter; residual = delta; converged = false;
+            criterion = None }
+        else sweep (iter + 1)
   in
   let c = sweep 1 in
   finish ?obs ~solver:"jacobi" ~size:n ~max_iter span c;
   (x, c)
 
+(* Shared driver for the multi-RHS solvers: [do_sweep] performs one
+   blocked relaxation sweep and fills [deltas]. All K columns iterate
+   together — one matrix pass per sweep regardless of K — and each
+   column keeps its own convergence record: [done_at.(c)] is the sweep
+   at which column [c] (most recently) entered the converged state. *)
+let drive_multi ~solver ~tol ~rel_tol ~max_iter ?obs ~size ~width ~x do_sweep =
+  span_states solver size @@ fun span ->
+  if Obs.Trace.recording span then
+    Obs.Trace.add_attr span "batch_width" (Obs.Int width);
+  let deltas = Array.make width 0. in
+  let done_at = Array.make width 0 in
+  let crits = Array.make width None in
+  let rec sweep iter =
+    do_sweep ~deltas;
+    let scales = if rel_tol = None then None else Some (Multivec.max_norms x) in
+    let all = ref true in
+    for c = 0 to width - 1 do
+      let scale = match scales with None -> 0. | Some s -> s.(c) in
+      match fired ~tol ~rel_tol ~scale deltas.(c) with
+      | Some crit ->
+          if crits.(c) = None then begin
+            crits.(c) <- Some crit;
+            done_at.(c) <- iter
+          end
+      | None ->
+          crits.(c) <- None;
+          all := false
+    done;
+    if !all || iter >= max_iter then iter else sweep (iter + 1)
+  in
+  let last = sweep 1 in
+  let records =
+    Array.init width (fun c ->
+        let converged = crits.(c) <> None in
+        { iterations = (if converged then done_at.(c) else last);
+          residual = deltas.(c);
+          converged;
+          criterion = crits.(c) })
+  in
+  (* Report per column — hook, registry, histogram — before raising on
+     the first unconverged column, exactly like the single-RHS path. *)
+  Array.iter
+    (fun c ->
+      (match obs with Some f -> f c | None -> ());
+      Obs.Metrics.record_solve ~solver ~size ~iterations:c.iterations
+        ~residual:c.residual ~converged:c.converged;
+      Obs.Metrics.observe column_iterations (float_of_int c.iterations))
+    records;
+  if Obs.Trace.recording span then begin
+    Obs.Trace.add_attr span "iterations" (Obs.Int last);
+    Obs.Trace.add_attr span "residual" (Obs.Float (max_abs deltas));
+    Obs.Trace.add_attr span "converged"
+      (Obs.Bool (Array.for_all (fun c -> c.converged) records))
+  end;
+  Array.iter
+    (fun c ->
+      if not c.converged then
+        raise (Did_not_converge { solver; max_iter; info = c }))
+    records;
+  records
+
+let check_multi_shapes name a b x0 =
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n || Multivec.dim b <> n then
+    invalid_arg (Printf.sprintf "Solver.%s: dimension mismatch" name);
+  if Multivec.width b = 0 then
+    invalid_arg (Printf.sprintf "Solver.%s: empty block" name);
+  match x0 with
+  | Some v when Multivec.dim v <> n || Multivec.width v <> Multivec.width b ->
+      invalid_arg (Printf.sprintf "Solver.%s: x0 shape mismatch" name)
+  | _ -> ()
+
+let solve_gauss_seidel_multi ?(tol = 1e-12) ?rel_tol ?(max_iter = 100_000)
+    ?obs ?order ?x0 a b =
+  check_multi_shapes "solve_gauss_seidel_multi" a b x0;
+  let n = Sparse.rows a and k = Multivec.width b in
+  let d = diagonal a in
+  check_diagonal "solve_gauss_seidel_multi" d;
+  check_order "solve_gauss_seidel_multi" n order;
+  let x =
+    match x0 with
+    | Some v -> Multivec.copy v
+    | None -> Multivec.create ~dim:n ~width:k
+  in
+  let records =
+    drive_multi ~solver:"gauss_seidel_multi" ~tol ~rel_tol ~max_iter ?obs
+      ~size:n ~width:k ~x (fun ~deltas ->
+        Sparse.gauss_seidel_sweep_multi ?order a ~diag:d ~b ~x ~deltas)
+  in
+  (x, records)
+
+let solve_jacobi_multi ?(tol = 1e-12) ?rel_tol ?(max_iter = 100_000) ?obs ?x0
+    a b =
+  check_multi_shapes "solve_jacobi_multi" a b x0;
+  let n = Sparse.rows a and k = Multivec.width b in
+  let d = diagonal a in
+  check_diagonal "solve_jacobi_multi" d;
+  let x =
+    match x0 with
+    | Some v -> Multivec.copy v
+    | None -> Multivec.create ~dim:n ~width:k
+  in
+  let x' = Multivec.create ~dim:n ~width:k in
+  let records =
+    drive_multi ~solver:"jacobi_multi" ~tol ~rel_tol ~max_iter ?obs ~size:n
+      ~width:k ~x (fun ~deltas ->
+        Sparse.jacobi_sweep_multi a ~diag:d ~b ~x ~x';
+        let ds = Multivec.linf_distances x x' in
+        Array.blit ds 0 deltas 0 k;
+        Multivec.blit ~src:x' ~dst:x)
+  in
+  (x, records)
+
 (* pi Q = 0  <=>  Q^T pi^T = 0. Gauss-Seidel on the transposed system:
    pi(j) <- sum_{i<>j} pi(i) * Q(i,j) / (-Q(j,j)), then renormalize. *)
-let steady_state_gauss_seidel ?(tol = 1e-12) ?(max_iter = 100_000) ?obs q =
+let steady_state_gauss_seidel ?(tol = 1e-12) ?rel_tol ?(max_iter = 100_000)
+    ?obs q =
   let n = Sparse.rows q in
   if Sparse.cols q <> n then invalid_arg "Solver.steady_state: not square";
   if n = 0 then invalid_arg "Solver.steady_state: empty generator";
@@ -122,7 +282,10 @@ let steady_state_gauss_seidel ?(tol = 1e-12) ?(max_iter = 100_000) ?obs q =
   let d = diagonal q in
   (* A state with exit rate 0 in an irreducible chain means n = 1. *)
   if n = 1 then begin
-    let c = { iterations = 0; residual = 0.; converged = true } in
+    let c =
+      { iterations = 0; residual = 0.; converged = true;
+        criterion = Some Absolute }
+    in
     (match obs with Some f -> f c | None -> ());
     Obs.Metrics.record_solve ~solver:"steady_gauss_seidel" ~size:1
       ~iterations:0 ~residual:0. ~converged:true;
@@ -143,18 +306,23 @@ let steady_state_gauss_seidel ?(tol = 1e-12) ?(max_iter = 100_000) ?obs q =
         pi.(j) <- pj
       done;
       Vec.normalize_l1 pi;
-      if !delta <= tol then
-        { iterations = iter; residual = !delta; converged = true }
-      else if iter >= max_iter then
-        { iterations = iter; residual = !delta; converged = false }
-      else sweep (iter + 1)
+      let scale = if rel_tol = None then 0. else max_abs pi in
+      match fired ~tol ~rel_tol ~scale !delta with
+      | Some crit ->
+          { iterations = iter; residual = !delta; converged = true;
+            criterion = Some crit }
+      | None ->
+          if iter >= max_iter then
+            { iterations = iter; residual = !delta; converged = false;
+              criterion = None }
+          else sweep (iter + 1)
     in
     let c = sweep 1 in
     finish ?obs ~solver:"steady_gauss_seidel" ~size:n ~max_iter span c;
     (pi, c)
   end
 
-let power_iteration ?(tol = 1e-12) ?(max_iter = 1_000_000) ?obs p pi0 =
+let power_iteration ?(tol = 1e-12) ?rel_tol ?(max_iter = 1_000_000) ?obs p pi0 =
   let n = Sparse.rows p in
   if Sparse.cols p <> n || Vec.dim pi0 <> n then
     invalid_arg "Solver.power_iteration: dimension mismatch";
@@ -165,10 +333,16 @@ let power_iteration ?(tol = 1e-12) ?(max_iter = 1_000_000) ?obs p pi0 =
     Sparse.vec_mul_into pi p pi';
     let delta = Vec.linf_distance pi pi' in
     Vec.blit ~src:pi' ~dst:pi;
-    if delta <= tol then { iterations = iter; residual = delta; converged = true }
-    else if iter >= max_iter then
-      { iterations = iter; residual = delta; converged = false }
-    else step (iter + 1)
+    let scale = if rel_tol = None then 0. else max_abs pi in
+    match fired ~tol ~rel_tol ~scale delta with
+    | Some crit ->
+        { iterations = iter; residual = delta; converged = true;
+          criterion = Some crit }
+    | None ->
+        if iter >= max_iter then
+          { iterations = iter; residual = delta; converged = false;
+            criterion = None }
+        else step (iter + 1)
   in
   let c = step 1 in
   finish ?obs ~solver:"power_iteration" ~size:n ~max_iter span c;

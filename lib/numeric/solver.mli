@@ -5,18 +5,38 @@
     [pi Q = 0, sum pi = 1] and the non-singular reachability systems
     [(I - A) x = b] with sub-stochastic [A].
 
-    {b Telemetry.} Every solver returns its {!convergence} record, passes it
-    to the caller's [?obs] hook (also on non-convergence, before raising),
-    reports it to the {!Obs} layer ([solver.<name>.*] counters, gauge,
-    residual histogram, and the recent-solve ring — see
-    {!Obs.Metrics.record_solve}) and, when tracing is on, runs under a
-    [solver.<name>] span carrying [states]/[iterations]/[residual]
+    {b Convergence.} Each sweep's max-norm change is tested against the
+    absolute tolerance [tol] and, when given, the relative tolerance
+    [rel_tol] (change small compared to the current iterate's max norm —
+    the guard against false verdicts on ill-conditioned large-N chains).
+    The {!convergence} record says which criterion fired.
+
+    {b Multi-RHS.} {!solve_gauss_seidel_multi} and {!solve_jacobi_multi}
+    iterate a {!Multivec.t} block of K right-hand sides together — one
+    blocked matrix sweep per iteration regardless of K — and return one
+    {!convergence} record per column. The Gauss–Seidel solvers accept an
+    update [?order] (e.g. an SCC topological order from {!Digraph.sccs}),
+    which on DAG-like chains propagates dependencies in a single sweep.
+
+    {b Telemetry.} Every solver returns its {!convergence} record(s),
+    passes them to the caller's [?obs] hook (also on non-convergence,
+    before raising), reports them to the {!Obs} layer ([solver.<name>.*]
+    counters, gauge, residual histogram, the recent-solve ring and — for
+    the multi-RHS solvers — the [solver.column_iterations] histogram) and,
+    when tracing is on, runs under a [solver.<name>] span carrying
+    [states]/[iterations]/[residual] (plus [batch_width] for multi-RHS)
     attributes. *)
+
+type criterion =
+  | Absolute  (** the absolute max-norm test [delta <= tol] fired *)
+  | Relative  (** the relative test [delta <= rel_tol * max|x|] fired *)
 
 type convergence = {
   iterations : int;
   residual : float; (** max-norm change of the last sweep *)
   converged : bool;
+  criterion : criterion option;
+      (** which test accepted the iterate; [None] when not converged *)
 }
 
 exception
@@ -30,8 +50,10 @@ exception
 
 val solve_gauss_seidel :
   ?tol:float ->
+  ?rel_tol:float ->
   ?max_iter:int ->
   ?obs:(convergence -> unit) ->
+  ?order:int array ->
   ?x0:Vec.t ->
   Sparse.t ->
   Vec.t ->
@@ -39,12 +61,15 @@ val solve_gauss_seidel :
 (** [solve_gauss_seidel a b] solves [a x = b] by Gauss–Seidel sweeps.
     Requires non-zero diagonal entries. [tol] (default [1e-12]) bounds the
     max-norm change between sweeps; [max_iter] defaults to [100_000].
-    Returns the solution and convergence information; raises
-    [Did_not_converge] when the iteration limit is hit. [obs] receives the
-    final convergence record exactly once per call, converged or not. *)
+    [order], when given, must be a permutation of the row indices and
+    fixes the within-sweep update sequence. Returns the solution and
+    convergence information; raises [Did_not_converge] when the iteration
+    limit is hit. [obs] receives the final convergence record exactly once
+    per call, converged or not. *)
 
 val solve_jacobi :
   ?tol:float ->
+  ?rel_tol:float ->
   ?max_iter:int ->
   ?obs:(convergence -> unit) ->
   ?x0:Vec.t ->
@@ -54,8 +79,38 @@ val solve_jacobi :
 (** Jacobi variant of {!solve_gauss_seidel}; slower but order-independent
     (used in tests as a cross-check). *)
 
+val solve_gauss_seidel_multi :
+  ?tol:float ->
+  ?rel_tol:float ->
+  ?max_iter:int ->
+  ?obs:(convergence -> unit) ->
+  ?order:int array ->
+  ?x0:Multivec.t ->
+  Sparse.t ->
+  Multivec.t ->
+  Multivec.t * convergence array
+(** [solve_gauss_seidel_multi a b] solves [a X = B] for all columns of
+    [b] at once with blocked Gauss–Seidel sweeps. All columns iterate
+    together (one matrix pass per sweep); each column's record carries
+    the sweep count at which {e that} column converged and its own last
+    residual, and [obs] is invoked once per column. Raises
+    [Did_not_converge] for the first unconverged column — after every
+    column has been reported. *)
+
+val solve_jacobi_multi :
+  ?tol:float ->
+  ?rel_tol:float ->
+  ?max_iter:int ->
+  ?obs:(convergence -> unit) ->
+  ?x0:Multivec.t ->
+  Sparse.t ->
+  Multivec.t ->
+  Multivec.t * convergence array
+(** Jacobi variant of {!solve_gauss_seidel_multi}. *)
+
 val steady_state_gauss_seidel :
   ?tol:float ->
+  ?rel_tol:float ->
   ?max_iter:int ->
   ?obs:(convergence -> unit) ->
   Sparse.t ->
@@ -67,6 +122,7 @@ val steady_state_gauss_seidel :
 
 val power_iteration :
   ?tol:float ->
+  ?rel_tol:float ->
   ?max_iter:int ->
   ?obs:(convergence -> unit) ->
   Sparse.t ->

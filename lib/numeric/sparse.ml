@@ -1,12 +1,24 @@
+module A1 = Bigarray.Array1
+
+type index_array = (int32, Bigarray.int32_elt, Bigarray.c_layout) A1.t
+type value_array = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+
+(* Unboxed CSR: int32 row pointers / column indices, float64 values. The
+   kernels below read these directly; everything else goes through the
+   bounds-checked accessors. *)
 type t = {
   rows : int;
   cols : int;
-  row_ptr : int array; (* length rows+1 *)
-  col_idx : int array; (* length nnz, sorted within each row *)
-  values : float array; (* length nnz *)
+  row_ptr : index_array; (* length rows+1 *)
+  col_idx : index_array; (* length nnz, sorted within each row *)
+  values : value_array; (* length nnz *)
 }
 
+let idx (a : index_array) p = Int32.to_int (A1.unsafe_get a p)
+
 module Builder = struct
+  type matrix = t
+
   type t = {
     b_rows : int;
     b_cols : int;
@@ -28,7 +40,7 @@ module Builder = struct
 
   (* Finalization: counting sort by row, then sort each row by column and
      merge duplicates. *)
-  let to_csr b =
+  let to_csr b : matrix =
     let rows = b.b_rows and cols = b.b_cols in
     let n = b.count in
     let ri = Array.make n 0 and ci = Array.make n 0 and vs = Array.make n 0. in
@@ -56,11 +68,11 @@ module Builder = struct
       next.(r) <- next.(r) + 1
     done;
     (* per row: sort indices by column, merge duplicates, drop exact zeros *)
-    let row_ptr = Array.make (rows + 1) 0 in
+    let row_ends = Array.make (rows + 1) 0 in
     let out_cols = ref [] and out_vals = ref [] in
     let total = ref 0 in
     for r = 0 to rows - 1 do
-      row_ptr.(r) <- !total;
+      row_ends.(r) <- !total;
       let lo = counts.(r) and hi = counts.(r + 1) in
       let row_entries =
         Array.init (hi - lo) (fun q ->
@@ -84,14 +96,19 @@ module Builder = struct
         end
       done
     done;
-    row_ptr.(rows) <- !total;
+    row_ends.(rows) <- !total;
     let nnz = !total in
-    let col_idx = Array.make nnz 0 and values = Array.make nnz 0. in
+    let row_ptr = A1.create Bigarray.int32 Bigarray.c_layout (rows + 1) in
+    for r = 0 to rows do
+      A1.unsafe_set row_ptr r (Int32.of_int row_ends.(r))
+    done;
+    let col_idx = A1.create Bigarray.int32 Bigarray.c_layout nnz in
+    let values = A1.create Bigarray.float64 Bigarray.c_layout nnz in
     let k = ref (nnz - 1) in
     List.iter2
       (fun c v ->
-        col_idx.(!k) <- c;
-        values.(!k) <- v;
+        A1.unsafe_set col_idx !k (Int32.of_int c);
+        A1.unsafe_set values !k v;
         decr k)
       !out_cols !out_vals;
     { rows; cols; row_ptr; col_idx; values }
@@ -116,13 +133,13 @@ let rows m = m.rows
 
 let cols m = m.cols
 
-let nnz m = m.row_ptr.(m.rows)
+let nnz m = idx m.row_ptr m.rows
 
 let to_dense m =
   let d = Array.make_matrix m.rows m.cols 0. in
   for i = 0 to m.rows - 1 do
-    for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
-      d.(i).(m.col_idx.(p)) <- m.values.(p)
+    for p = idx m.row_ptr i to idx m.row_ptr (i + 1) - 1 do
+      d.(i).(idx m.col_idx p) <- A1.unsafe_get m.values p
     done
   done;
   d
@@ -130,13 +147,13 @@ let to_dense m =
 let get m i j =
   if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
     invalid_arg "Sparse.get: out of bounds";
-  let lo = ref m.row_ptr.(i) and hi = ref (m.row_ptr.(i + 1) - 1) in
+  let lo = ref (idx m.row_ptr i) and hi = ref (idx m.row_ptr (i + 1) - 1) in
   let result = ref 0. in
   while !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
-    let c = m.col_idx.(mid) in
+    let c = idx m.col_idx mid in
     if c = j then begin
-      result := m.values.(mid);
+      result := A1.unsafe_get m.values mid;
       lo := !hi + 1
     end
     else if c < j then lo := mid + 1
@@ -145,8 +162,10 @@ let get m i j =
   !result
 
 let iter_row m i f =
-  for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
-    f m.col_idx.(p) m.values.(p)
+  if i < 0 || i >= m.rows then
+    invalid_arg (Printf.sprintf "Sparse.iter_row: row %d out of %d" i m.rows);
+  for p = idx m.row_ptr i to idx m.row_ptr (i + 1) - 1 do
+    f (idx m.col_idx p) (A1.unsafe_get m.values p)
   done
 
 let iteri m f =
@@ -164,10 +183,11 @@ let mul_vec_into m x y =
     invalid_arg "Sparse.mul_vec_into: dimension mismatch";
   for i = 0 to m.rows - 1 do
     let acc = ref 0. in
-    for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
-      acc := !acc +. (m.values.(p) *. x.(m.col_idx.(p)))
+    for p = idx m.row_ptr i to idx m.row_ptr (i + 1) - 1 do
+      acc :=
+        !acc +. (A1.unsafe_get m.values p *. Array.unsafe_get x (idx m.col_idx p))
     done;
-    y.(i) <- !acc
+    Array.unsafe_set y i !acc
   done
 
 let mul_vec m x =
@@ -180,10 +200,12 @@ let vec_mul_into x m y =
     invalid_arg "Sparse.vec_mul_into: dimension mismatch";
   Vec.fill y 0.;
   for i = 0 to m.rows - 1 do
-    let xi = x.(i) in
+    let xi = Array.unsafe_get x i in
     if xi <> 0. then
-      for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
-        y.(m.col_idx.(p)) <- y.(m.col_idx.(p)) +. (xi *. m.values.(p))
+      for p = idx m.row_ptr i to idx m.row_ptr (i + 1) - 1 do
+        let j = idx m.col_idx p in
+        Array.unsafe_set y j
+          (Array.unsafe_get y j +. (xi *. A1.unsafe_get m.values p))
       done
   done
 
@@ -192,13 +214,182 @@ let vec_mul x m =
   vec_mul_into x m y;
   y
 
+(* --- Multi-vector (blocked) kernels ------------------------------------ *)
+
+let check_multi name _m x y =
+  if Multivec.width x <> Multivec.width y then
+    invalid_arg (Printf.sprintf "Sparse.%s: width mismatch" name);
+  if Multivec.width x = 0 then
+    invalid_arg (Printf.sprintf "Sparse.%s: empty block" name)
+
+(* y <- m * x, one matrix pass serving all K columns: the K entries of
+   state j are contiguous in the interleaved layout, so each decoded
+   (value, column) pair feeds K fused multiply-adds from one cache line. *)
+let mul_multi_into m x y =
+  check_multi "mul_multi_into" m x y;
+  if Multivec.dim x <> m.cols || Multivec.dim y <> m.rows then
+    invalid_arg "Sparse.mul_multi_into: dimension mismatch";
+  let k = Multivec.width x in
+  let xd = Multivec.data x and yd = Multivec.data y in
+  let acc = Array.make k 0. in
+  for i = 0 to m.rows - 1 do
+    Array.fill acc 0 k 0.;
+    for p = idx m.row_ptr i to idx m.row_ptr (i + 1) - 1 do
+      let v = A1.unsafe_get m.values p in
+      let base = idx m.col_idx p * k in
+      for c = 0 to k - 1 do
+        Array.unsafe_set acc c
+          (Array.unsafe_get acc c +. (v *. A1.unsafe_get xd (base + c)))
+      done
+    done;
+    let yb = i * k in
+    for c = 0 to k - 1 do
+      A1.unsafe_set yd (yb + c) (Array.unsafe_get acc c)
+    done
+  done
+
+(* y <- x^T * m column-wise (scatter form). Rows whose K entries are all
+   zero are skipped — the blocked analogue of the [xi <> 0.] test in
+   [vec_mul_into], which matters because distributions start as point
+   masses. *)
+let vec_mul_multi_into x m y =
+  check_multi "vec_mul_multi_into" m x y;
+  if Multivec.dim x <> m.rows || Multivec.dim y <> m.cols then
+    invalid_arg "Sparse.vec_mul_multi_into: dimension mismatch";
+  let k = Multivec.width x in
+  let xd = Multivec.data x and yd = Multivec.data y in
+  Multivec.fill y 0.;
+  let row = Array.make k 0. in
+  for i = 0 to m.rows - 1 do
+    let xb = i * k in
+    let nonzero = ref false in
+    for c = 0 to k - 1 do
+      let v = A1.unsafe_get xd (xb + c) in
+      Array.unsafe_set row c v;
+      if v <> 0. then nonzero := true
+    done;
+    if !nonzero then
+      for p = idx m.row_ptr i to idx m.row_ptr (i + 1) - 1 do
+        let v = A1.unsafe_get m.values p in
+        let base = idx m.col_idx p * k in
+        for c = 0 to k - 1 do
+          A1.unsafe_set yd (base + c)
+            (A1.unsafe_get yd (base + c) +. (Array.unsafe_get row c *. v))
+        done
+      done
+  done
+
+(* --- Solver sweep kernels ----------------------------------------------
+   One relaxation sweep of [a x = b]; the iteration/convergence logic
+   lives in {!Solver}, which validates [order] as a permutation before
+   handing it down. *)
+
+let gauss_seidel_sweep ?order m ~diag ~b ~x =
+  let n = m.rows in
+  let delta = ref 0. in
+  for s = 0 to n - 1 do
+    let i = match order with None -> s | Some o -> o.(s) in
+    let acc = ref (Array.unsafe_get b i) in
+    for p = idx m.row_ptr i to idx m.row_ptr (i + 1) - 1 do
+      let j = idx m.col_idx p in
+      if j <> i then
+        acc := !acc -. (A1.unsafe_get m.values p *. Array.unsafe_get x j)
+    done;
+    let xi = !acc /. Array.unsafe_get diag i in
+    let change = Float.abs (xi -. Array.unsafe_get x i) in
+    if change > !delta then delta := change;
+    Array.unsafe_set x i xi
+  done;
+  !delta
+
+let jacobi_sweep m ~diag ~b ~x ~x' =
+  let n = m.rows in
+  for i = 0 to n - 1 do
+    let acc = ref (Array.unsafe_get b i) in
+    for p = idx m.row_ptr i to idx m.row_ptr (i + 1) - 1 do
+      let j = idx m.col_idx p in
+      if j <> i then
+        acc := !acc -. (A1.unsafe_get m.values p *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set x' i (!acc /. Array.unsafe_get diag i)
+  done
+
+let gauss_seidel_sweep_multi ?order m ~diag ~b ~x ~deltas =
+  let n = m.rows in
+  let k = Multivec.width x in
+  let bd = Multivec.data b and xd = Multivec.data x in
+  Array.fill deltas 0 k 0.;
+  let acc = Array.make k 0. in
+  for s = 0 to n - 1 do
+    let i = match order with None -> s | Some o -> o.(s) in
+    let ib = i * k in
+    for c = 0 to k - 1 do
+      Array.unsafe_set acc c (A1.unsafe_get bd (ib + c))
+    done;
+    for p = idx m.row_ptr i to idx m.row_ptr (i + 1) - 1 do
+      let j = idx m.col_idx p in
+      if j <> i then begin
+        let v = A1.unsafe_get m.values p in
+        let jb = j * k in
+        for c = 0 to k - 1 do
+          Array.unsafe_set acc c
+            (Array.unsafe_get acc c -. (v *. A1.unsafe_get xd (jb + c)))
+        done
+      end
+    done;
+    let di = Array.unsafe_get diag i in
+    for c = 0 to k - 1 do
+      let xi = Array.unsafe_get acc c /. di in
+      let change = Float.abs (xi -. A1.unsafe_get xd (ib + c)) in
+      if change > Array.unsafe_get deltas c then
+        Array.unsafe_set deltas c change;
+      A1.unsafe_set xd (ib + c) xi
+    done
+  done
+
+let jacobi_sweep_multi m ~diag ~b ~x ~x' =
+  let n = m.rows in
+  let k = Multivec.width x in
+  let bd = Multivec.data b
+  and xd = Multivec.data x
+  and xd' = Multivec.data x' in
+  let acc = Array.make k 0. in
+  for i = 0 to n - 1 do
+    let ib = i * k in
+    for c = 0 to k - 1 do
+      Array.unsafe_set acc c (A1.unsafe_get bd (ib + c))
+    done;
+    for p = idx m.row_ptr i to idx m.row_ptr (i + 1) - 1 do
+      let j = idx m.col_idx p in
+      if j <> i then begin
+        let v = A1.unsafe_get m.values p in
+        let jb = j * k in
+        for c = 0 to k - 1 do
+          Array.unsafe_set acc c
+            (Array.unsafe_get acc c -. (v *. A1.unsafe_get xd (jb + c)))
+        done
+      end
+    done;
+    let di = Array.unsafe_get diag i in
+    for c = 0 to k - 1 do
+      A1.unsafe_set xd' (ib + c) (Array.unsafe_get acc c /. di)
+    done
+  done
+
+(* ----------------------------------------------------------------------- *)
+
 let transpose m =
   let b = Builder.create ~rows:m.cols ~cols:m.rows in
   iteri m (fun i j x -> Builder.add b j i x);
   Builder.to_csr b
 
 let map f m =
-  { m with values = Array.map f m.values }
+  let n = nnz m in
+  let values = A1.create Bigarray.float64 Bigarray.c_layout n in
+  for p = 0 to n - 1 do
+    A1.unsafe_set values p (f (A1.unsafe_get m.values p))
+  done;
+  { m with values }
 
 let scale a m = map (fun x -> a *. x) m
 

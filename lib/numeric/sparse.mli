@@ -2,7 +2,15 @@
 
     The CTMC engine stores generator and probability matrices in this format.
     Matrices are immutable once built; construction goes through {!Builder}
-    (coordinate/triplet accumulation) or {!of_triplets}. *)
+    (coordinate/triplet accumulation) or {!of_triplets}.
+
+    Storage is unboxed: row pointers and column indices live in int32
+    {!Bigarray}s and values in a float64 {!Bigarray}, so one matrix pass
+    streams three flat buffers. On top of the single-vector products the
+    module exposes {e blocked} kernels ({!mul_multi_into},
+    {!vec_mul_multi_into}, and the relaxation sweeps) that push a
+    {!Multivec.t} of K vectors through the matrix in a single pass —
+    every decoded entry serves all K columns. *)
 
 type t
 
@@ -36,10 +44,12 @@ val nnz : t -> int
 
 val get : t -> int -> int -> float
 (** [get m i j] is the entry at [(i, j)] ([0.] when not stored).
-    Logarithmic in the number of entries of row [i]. *)
+    Logarithmic in the number of entries of row [i]. Raises
+    [Invalid_argument] when [(i, j)] is out of range. *)
 
 val iter_row : t -> int -> (int -> float -> unit) -> unit
-(** [iter_row m i f] applies [f col value] to every stored entry of row [i]. *)
+(** [iter_row m i f] applies [f col value] to every stored entry of row [i].
+    Raises [Invalid_argument] when [i] is out of range. *)
 
 val iteri : t -> (int -> int -> float -> unit) -> unit
 
@@ -55,6 +65,51 @@ val vec_mul : Vec.t -> t -> Vec.t
 (** [vec_mul x m] is the vector-matrix product [x^T * m] (row vector). *)
 
 val vec_mul_into : Vec.t -> t -> Vec.t -> unit
+
+(** {2 Blocked (multi-vector) kernels}
+
+    One matrix pass serving every column of a {!Multivec.t}: the K
+    entries of a state are contiguous in the interleaved layout, so each
+    decoded [(value, column)] pair feeds K fused multiply-adds from one
+    cache line instead of re-reading the matrix K times. *)
+
+val mul_multi_into : t -> Multivec.t -> Multivec.t -> unit
+(** [mul_multi_into m x y] writes [m * x] into [y] column-wise.
+    [x] and [y] must not alias and must share their width. *)
+
+val vec_mul_multi_into : Multivec.t -> t -> Multivec.t -> unit
+(** [vec_mul_multi_into x m y] writes [x^T * m] into [y] column-wise
+    (distribution push-forward for K distributions at once). States whose
+    K entries are all zero are skipped, as in {!vec_mul_into}. *)
+
+(** {2 Relaxation sweep kernels}
+
+    One in-place sweep of [a x = b]; {!Solver} owns iteration and
+    convergence logic and validates [order] (a permutation of the rows
+    giving the update sequence — SCC topological order makes
+    Gauss–Seidel propagate dependencies in one sweep on DAG-like
+    chains). These kernels do not validate their inputs. *)
+
+val gauss_seidel_sweep :
+  ?order:int array -> t -> diag:Vec.t -> b:Vec.t -> x:Vec.t -> float
+(** Updates [x] in place, returns the max-norm change of the sweep. *)
+
+val jacobi_sweep : t -> diag:Vec.t -> b:Vec.t -> x:Vec.t -> x':Vec.t -> unit
+(** Writes the next Jacobi iterate of [x] into [x']. *)
+
+val gauss_seidel_sweep_multi :
+  ?order:int array ->
+  t ->
+  diag:Vec.t ->
+  b:Multivec.t ->
+  x:Multivec.t ->
+  deltas:float array ->
+  unit
+(** Blocked {!gauss_seidel_sweep} over every column of [x]; writes each
+    column's max-norm change into [deltas] (length = width). *)
+
+val jacobi_sweep_multi :
+  t -> diag:Vec.t -> b:Multivec.t -> x:Multivec.t -> x':Multivec.t -> unit
 
 val transpose : t -> t
 

@@ -35,9 +35,20 @@ let cache_key_dls : (string, Measures.t) Hashtbl.t Domain.DLS.key =
 let reliability_cache_dls : (string, Measures.t) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 4)
 
+(* Cost-figure pair cache: both cost curves of a strategy come out of one
+   blocked two-stream sweep ({!Measures.cost_curves}), so whichever cost
+   figure runs first pays the sweep and the sibling figure over the same
+   time grid reads its half from the cache. Domain-local for the same
+   reason as the chain caches above. *)
+let cost_pair_cache_dls :
+    (string, (float * float) list * (float * float) list) Hashtbl.t
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
 let clear_cache () =
   Hashtbl.reset (Domain.DLS.get cache_key_dls);
-  Hashtbl.reset (Domain.DLS.get reliability_cache_dls)
+  Hashtbl.reset (Domain.DLS.get reliability_cache_dls);
+  Hashtbl.reset (Domain.DLS.get cost_pair_cache_dls)
 
 (* LUMP=1 routes every measure below through the quotient-based engine
    (Analysis.quotient); any other value keeps the full-chain engine. Read
@@ -69,6 +80,22 @@ let measures ?disaster line config =
       in
       Hashtbl.replace cache key m;
       m
+
+let cost_curve_pair ~disaster line config ~times =
+  let lump = lump_enabled () in
+  let cache = Domain.DLS.get cost_pair_cache_dls in
+  let key =
+    cache_key ~lump line config disaster
+    ^ "/"
+    ^ String.concat "," (List.map (Printf.sprintf "%h") times)
+  in
+  match Hashtbl.find_opt cache key with
+  | Some pair -> pair
+  | None ->
+      let m = measures ?disaster line config in
+      let pair = Measures.cost_curves m ~times in
+      Hashtbl.replace cache key pair;
+      pair
 
 let reliability_measures line =
   let lump = lump_enabled () in
@@ -212,11 +239,9 @@ let cost_fig ~fig_id ~title ~kind ~line ~disaster ~configs ~horizon ~points =
     parallel_map
       (fun config ->
         series_span fig_id (Facility.config_name config) @@ fun () ->
-        let m = measures ?disaster line config in
+        let inst, acc = cost_curve_pair ~disaster line config ~times in
         let points =
-          match kind with
-          | `Instantaneous -> Measures.instantaneous_cost_curve m ~times
-          | `Accumulated -> Measures.accumulated_cost_curve m ~times
+          match kind with `Instantaneous -> inst | `Accumulated -> acc
         in
         { label = Facility.config_name config; points })
       configs

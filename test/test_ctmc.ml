@@ -941,6 +941,134 @@ let test_curve_preserves_times () =
           ~psi:(fun s -> s = 1)
           ~bounds:times))
 
+(* ------------------------------------------------------------------ *)
+(* The blocked (multi-stream) kernel and the batch entry points built on
+   it: one width-K sweep must match K independent single-stream sweeps *)
+
+let test_batch_kernel_matches_multi () =
+  let m = analysis_chain () in
+  let a = Analysis.create m in
+  let n = Chain.states m in
+  let start = Chain.initial m in
+  let other = Numeric.Vec.unit n 2 in
+  let batches =
+    [
+      { Analysis.start; coeff = Analysis.Pmf; times = multi_times };
+      { Analysis.start; coeff = Analysis.Tail_over_lambda; times = multi_times };
+      { Analysis.start = other; coeff = Analysis.Pmf; times = [ 0.; 2.6 ] };
+    ]
+  in
+  let results = Analysis.poisson_mixture_batch a ~dir:Analysis.Forward batches in
+  let s = Analysis.stats a in
+  Alcotest.(check int) "one blocked pass" 1 s.Analysis.batch_passes;
+  Alcotest.(check int) "three columns" 3 s.Analysis.batch_columns;
+  List.iter2
+    (fun b vs ->
+      let singles =
+        Analysis.poisson_mixture_multi a ~dir:Analysis.Forward ~coeff:b.Analysis.coeff
+          b.Analysis.start ~times:b.Analysis.times
+      in
+      List.iteri
+        (fun i (single, batched) ->
+          check_vec (Printf.sprintf "stream point %d" i) single batched)
+        (List.combine singles vs))
+    batches results
+
+let test_transient_batch_entries () =
+  let m = analysis_chain () in
+  let n = Chain.states m in
+  let starts = [ Chain.initial m; Numeric.Vec.unit n 3 ] in
+  let times = [ 0.; 0.7; 4.2 ] in
+  List.iter2
+    (fun start vs ->
+      List.iter2
+        (fun t v ->
+          check_vec
+            (Printf.sprintf "distribution_batch t=%g" t)
+            (Transient.distribution_from m start t)
+            v)
+        times vs)
+    starts
+    (Transient.distribution_batch m ~starts ~times);
+  let values = [ [| 1.; 0.; 0.; 0.; 0. |]; [| 0.; 0.5; 0.; 0.; 2. |] ] in
+  List.iter2
+    (fun v u ->
+      check_vec "backward_batch" (Transient.backward m v 1.3) u)
+    values
+    (Transient.backward_batch m values 1.3)
+
+let test_rewards_both_curves () =
+  let m = analysis_chain () in
+  let reward = Array.init (Chain.states m) (fun s -> float_of_int (2 * s) +. 1.) in
+  let times = [ 0.; 0.9; 3.3; 7. ] in
+  let inst, acc = Rewards.both_curves m ~reward ~times in
+  List.iter2
+    (fun (t1, v1) (t2, v2) ->
+      check_close "inst times aligned" t1 t2;
+      check_close ~eps:1e-12 (Printf.sprintf "inst t=%g" t1) v1 v2)
+    (Rewards.instantaneous_curve m ~reward ~times)
+    inst;
+  List.iter2
+    (fun (t1, v1) (t2, v2) ->
+      check_close "acc times aligned" t1 t2;
+      check_close ~eps:1e-12 (Printf.sprintf "acc t=%g" t1) v1 v2)
+    (Rewards.accumulated_curve m ~reward ~times)
+    acc
+
+let test_long_run_probabilities () =
+  (* reducible chain: the multi-RHS BSCC-weight solve behind one call must
+     match the per-predicate scalar entry point *)
+  let m = analysis_chain () in
+  let preds =
+    [ (fun s -> s = 0); (fun s -> s >= 3); (fun s -> s mod 2 = 1) ]
+  in
+  List.iter2
+    (fun pred p ->
+      check_close ~eps:1e-9 "long-run mass"
+        (Steady_state.long_run_probability m ~pred)
+        p)
+    preds
+    (Steady_state.long_run_probabilities m ~preds)
+
+let test_unbounded_until_scc_order () =
+  (* layered DAG: i -> i+1 and i -> trap, with the goal at the chain's
+     end. Natural-order Gauss-Seidel propagates the goal value roughly one
+     layer per sweep; the SCC topological order (successors first) needs a
+     couple of sweeps. Both must land on the same fixpoint. *)
+  let n = 40 in
+  let trap = n and goal = n - 1 in
+  let transitions =
+    List.concat
+      (List.init (n - 1) (fun i -> [ (i, i + 1, 1.); (i, trap, 0.3) ]))
+  in
+  let m = Chain.of_transitions ~states:(n + 1) transitions in
+  let psi s = s = goal in
+  let was = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  let v_nat = Reachability.eventually ~scc_order:false m ~psi in
+  let v_scc = Reachability.eventually m ~psi in
+  Obs.Metrics.set_enabled was;
+  let iters =
+    List.filter_map (fun s ->
+        if s.Obs.Metrics.solver = "gauss_seidel" then
+          Some s.Obs.Metrics.iterations
+        else None)
+      (Obs.Metrics.snapshot ()).Obs.Metrics.solves
+  in
+  (match iters with
+  | [ natural; ordered ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "scc order needs fewer sweeps (%d < %d)" ordered
+           natural)
+        true (ordered < natural)
+  | _ -> Alcotest.fail "expected exactly two recorded gauss_seidel solves");
+  Array.iteri
+    (fun s v ->
+      check_close ~eps:1e-11 (Printf.sprintf "fixpoint state %d" s) v
+        v_scc.(s))
+    v_nat
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -1057,6 +1185,19 @@ let () =
             test_multi_kernel_counters;
           Alcotest.test_case "curves preserve times" `Quick
             test_curve_preserves_times;
+        ] );
+      ( "batched-kernel",
+        [
+          Alcotest.test_case "blocked sweep matches streams" `Quick
+            test_batch_kernel_matches_multi;
+          Alcotest.test_case "transient batch entries" `Quick
+            test_transient_batch_entries;
+          Alcotest.test_case "both cost curves in one sweep" `Quick
+            test_rewards_both_curves;
+          Alcotest.test_case "long-run probabilities multi-RHS" `Quick
+            test_long_run_probabilities;
+          Alcotest.test_case "scc-ordered unbounded until" `Quick
+            test_unbounded_until_scc_order;
         ] );
       ( "lumping",
         [

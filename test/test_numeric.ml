@@ -2,6 +2,7 @@
    Poisson weights, iterative solvers, graph algorithms and the PRNG. *)
 
 module Vec = Numeric.Vec
+module Multivec = Numeric.Multivec
 module Sparse = Numeric.Sparse
 module Fox_glynn = Numeric.Fox_glynn
 module Solver = Numeric.Solver
@@ -45,6 +46,56 @@ let test_vec_mismatch () =
       ignore (Vec.dot [| 1.; 2. |] [| 1.; 2.; 3. |]))
 
 (* ------------------------------------------------------------------ *)
+(* Multivec *)
+
+let test_multivec_basics () =
+  let mv = Multivec.create ~dim:3 ~width:2 in
+  Alcotest.(check int) "dim" 3 (Multivec.dim mv);
+  Alcotest.(check int) "width" 2 (Multivec.width mv);
+  Multivec.set mv 1 0 5.;
+  Multivec.set mv 2 1 (-1.5);
+  check_float "get" 5. (Multivec.get mv 1 0);
+  check_float "still zero" 0. (Multivec.get mv 0 1);
+  Alcotest.(check (array (float 0.))) "col 0" [| 0.; 5.; 0. |]
+    (Multivec.col mv 0);
+  Alcotest.(check (array (float 0.))) "col 1" [| 0.; 0.; -1.5 |]
+    (Multivec.col mv 1)
+
+let test_multivec_cols_roundtrip () =
+  let cols = [| [| 1.; 2.; 3. |]; [| -4.; 0.; 6. |] |] in
+  let mv = Multivec.of_cols cols in
+  Alcotest.(check (array (array (float 0.)))) "roundtrip" cols
+    (Multivec.to_cols mv);
+  Multivec.set_col mv 1 [| 7.; 8.; 9. |];
+  Alcotest.(check (array (float 0.))) "set_col" [| 7.; 8.; 9. |]
+    (Multivec.col mv 1);
+  Alcotest.(check (array (float 0.))) "other col intact" [| 1.; 2.; 3. |]
+    (Multivec.col mv 0)
+
+let test_multivec_axpy () =
+  let mv = Multivec.of_cols [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let y = [| 10.; 20. |] in
+  Multivec.axpy_from_col 2. mv 1 y;
+  Alcotest.(check (array (float 0.))) "y += 2 * col 1" [| 16.; 28. |] y;
+  Alcotest.(check (array (float 0.))) "source intact" [| 3.; 4. |]
+    (Multivec.col mv 1)
+
+let test_multivec_errors () =
+  Alcotest.check_raises "bad shape"
+    (Invalid_argument "Multivec.create: bad shape") (fun () ->
+      ignore (Multivec.create ~dim:(-1) ~width:2));
+  Alcotest.check_raises "no columns"
+    (Invalid_argument "Multivec.of_cols: no columns") (fun () ->
+      ignore (Multivec.of_cols [||]));
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Multivec.of_cols: ragged columns") (fun () ->
+      ignore (Multivec.of_cols [| [| 1. |]; [| 1.; 2. |] |]));
+  let mv = Multivec.create ~dim:2 ~width:2 in
+  Alcotest.check_raises "column out of range"
+    (Invalid_argument "Multivec.col: column out of range") (fun () ->
+      ignore (Multivec.col mv 2))
+
+(* ------------------------------------------------------------------ *)
 (* Sparse *)
 
 let example_matrix () =
@@ -86,6 +137,45 @@ let test_sparse_zero_dropped () =
   let m = Sparse.of_triplets ~rows:2 ~cols:2 [ (0, 0, 1.); (0, 0, -1.); (1, 1, 2.) ] in
   Alcotest.(check int) "exact zero dropped" 1 (Sparse.nnz m)
 
+let test_sparse_bounds () =
+  let m = example_matrix () in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Sparse.get: out of bounds") (fun () ->
+      ignore (Sparse.get m 3 0));
+  Alcotest.check_raises "get negative"
+    (Invalid_argument "Sparse.get: out of bounds") (fun () ->
+      ignore (Sparse.get m 0 (-1)));
+  Alcotest.check_raises "iter_row too large"
+    (Invalid_argument "Sparse.iter_row: row 3 out of 3") (fun () ->
+      Sparse.iter_row m 3 (fun _ _ -> ()));
+  Alcotest.check_raises "iter_row negative"
+    (Invalid_argument "Sparse.iter_row: row -1 out of 3") (fun () ->
+      Sparse.iter_row m (-1) (fun _ _ -> ()))
+
+let test_sparse_mul_multi () =
+  let m = example_matrix () in
+  (* rows: [0 3 0; 3 0 1; 0 0 5] *)
+  let x = Multivec.of_cols [| [| 1.; 2.; 3. |]; [| 0.; 1.; 0. |] |] in
+  let y = Multivec.create ~dim:3 ~width:2 in
+  Sparse.mul_multi_into m x y;
+  Alcotest.(check (array (float 1e-12))) "m*x col 0" [| 6.; 6.; 15. |]
+    (Multivec.col y 0);
+  Alcotest.(check (array (float 1e-12))) "m*x col 1" [| 3.; 0.; 0. |]
+    (Multivec.col y 1);
+  Sparse.vec_mul_multi_into x m y;
+  Alcotest.(check (array (float 1e-12))) "x*m col 0" [| 6.; 3.; 17. |]
+    (Multivec.col y 0);
+  Alcotest.(check (array (float 1e-12))) "x*m col 1" [| 3.; 0.; 1. |]
+    (Multivec.col y 1)
+
+let test_sparse_multi_shape_mismatch () =
+  let m = example_matrix () in
+  let x = Multivec.create ~dim:3 ~width:2 in
+  let y = Multivec.create ~dim:3 ~width:3 in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Sparse.mul_multi_into: width mismatch") (fun () ->
+      Sparse.mul_multi_into m x y)
+
 let sparse_triplets_gen =
   QCheck.Gen.(
     let* rows = int_range 1 8 in
@@ -118,6 +208,44 @@ let prop_transpose_involution =
     (fun (rows, cols, entries) ->
       let m = Sparse.of_triplets ~rows ~cols entries in
       Sparse.equal m (Sparse.transpose (Sparse.transpose m)))
+
+let prop_blocked_matches_columns =
+  QCheck.Test.make ~count:200
+    ~name:"blocked multi kernels match per-column products"
+    (QCheck.make sparse_triplets_gen)
+    (fun (rows, cols, entries) ->
+      let m = Sparse.of_triplets ~rows ~cols entries in
+      let width = 3 in
+      let close a b =
+        Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-12) a b
+      in
+      let xs =
+        Array.init width (fun c ->
+            Array.init cols (fun i ->
+                (* include exact zeros to exercise the scatter skip *)
+                if (i + c) mod 3 = 0 then 0.
+                else float_of_int (((c + 1) * (i + 2)) mod 7) -. 3.))
+      in
+      let y = Multivec.create ~dim:rows ~width in
+      Sparse.mul_multi_into m (Multivec.of_cols xs) y;
+      let forward_ok =
+        Array.for_all
+          (fun c -> close (Sparse.mul_vec m xs.(c)) (Multivec.col y c))
+          (Array.init width Fun.id)
+      in
+      let zs =
+        Array.init width (fun c ->
+            Array.init rows (fun i ->
+                if (i + c) mod 2 = 0 then float_of_int (i - c) else 0.))
+      in
+      let w = Multivec.create ~dim:cols ~width in
+      Sparse.vec_mul_multi_into (Multivec.of_cols zs) m w;
+      let backward_ok =
+        Array.for_all
+          (fun c -> close (Sparse.vec_mul zs.(c) m) (Multivec.col w c))
+          (Array.init width Fun.id)
+      in
+      forward_ok && backward_ok)
 
 (* ------------------------------------------------------------------ *)
 (* Fox-Glynn *)
@@ -277,6 +405,99 @@ let prop_gs_solves_random_dd_system =
       let x, _ = Solver.solve_gauss_seidel a b in
       let r = Sparse.mul_vec a x in
       Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) r b)
+
+let multi_example () =
+  let a =
+    Sparse.of_dense [| [| 10.; 2.; 1. |]; [| 1.; 8.; -2. |]; [| 0.; 1.; 5. |] |]
+  in
+  let cols = [| [| 7.; -3.; 2. |]; [| 1.; 0.; 4. |]; [| -2.; 5.; 1. |] |] in
+  (a, cols)
+
+let test_gs_multi_matches_single () =
+  let a, cols = multi_example () in
+  let xm, convs = Solver.solve_gauss_seidel_multi a (Multivec.of_cols cols) in
+  Alcotest.(check int) "one record per column" (Array.length cols)
+    (Array.length convs);
+  Array.iteri
+    (fun c bc ->
+      let x, _ = Solver.solve_gauss_seidel a bc in
+      let xc = Multivec.col xm c in
+      Array.iteri
+        (fun i v ->
+          check_close ~eps:1e-12 (Printf.sprintf "col %d row %d" c i) v xc.(i))
+        x;
+      Alcotest.(check bool)
+        (Printf.sprintf "col %d converged" c)
+        true convs.(c).Solver.converged)
+    cols
+
+let test_jacobi_multi_matches_single () =
+  let a, cols = multi_example () in
+  let xm, _ = Solver.solve_jacobi_multi a (Multivec.of_cols cols) in
+  Array.iteri
+    (fun c bc ->
+      let x, _ = Solver.solve_jacobi a bc in
+      let xc = Multivec.col xm c in
+      Array.iteri
+        (fun i v ->
+          check_close ~eps:1e-12 (Printf.sprintf "col %d row %d" c i) v xc.(i))
+        x)
+    cols
+
+let test_solver_criterion () =
+  let a = Sparse.of_dense [| [| 4.; 1. |]; [| 1.; 5. |] |] in
+  (* default run: the absolute test fires and says so *)
+  let _, conv = Solver.solve_gauss_seidel a [| 9.; 16. |] in
+  Alcotest.(check bool) "absolute criterion" true
+    (conv.Solver.criterion = Some Solver.Absolute);
+  (* scaled system with an unreachable absolute tolerance: only the
+     relative test can accept, and the record names it *)
+  let b = [| 9e12; 16e12 |] in
+  let x, conv = Solver.solve_gauss_seidel ~tol:1e-300 ~rel_tol:1e-10 a b in
+  Alcotest.(check bool) "converged" true conv.Solver.converged;
+  Alcotest.(check bool) "relative criterion" true
+    (conv.Solver.criterion = Some Solver.Relative);
+  (* the relative test accepted at ~1e-10 * max|x|, so expect ~1e-10
+     relative accuracy on values of order 1e12 *)
+  check_close ~eps:1e3 "x0 scaled" (29e12 /. 19.) x.(0);
+  check_close ~eps:1e3 "x1 scaled" (55e12 /. 19.) x.(1)
+
+let test_gs_order () =
+  (* x_i = b_i + 0.5 x_{i+1}: a DAG-like chain where every row depends on
+     its successor. Natural order propagates one row per sweep; updating
+     rows last-to-first (the SCC topological order of this system)
+     converges in a sweep or two. *)
+  let n = 50 in
+  let triplets =
+    List.concat
+      (List.init n (fun i ->
+           (i, i, 1.) :: (if i < n - 1 then [ (i, i + 1, -0.5) ] else [])))
+  in
+  let a = Sparse.of_triplets ~rows:n ~cols:n triplets in
+  let b = Array.make n 1. in
+  let x_nat, c_nat = Solver.solve_gauss_seidel a b in
+  let order = Array.init n (fun i -> n - 1 - i) in
+  let x_ord, c_ord = Solver.solve_gauss_seidel ~order a b in
+  Array.iteri
+    (fun i v -> check_close ~eps:1e-10 (Printf.sprintf "x%d" i) v x_ord.(i))
+    x_nat;
+  Alcotest.(check bool)
+    (Printf.sprintf "ordered needs fewer sweeps (%d < %d)"
+       c_ord.Solver.iterations c_nat.Solver.iterations)
+    true
+    (c_ord.Solver.iterations < c_nat.Solver.iterations);
+  Alcotest.(check bool) "ordered converges in <= 2 sweeps" true
+    (c_ord.Solver.iterations <= 2)
+
+let test_gs_order_invalid () =
+  let a = Sparse.of_dense [| [| 2.; 0. |]; [| 0.; 2. |] |] in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Solver.solve_gauss_seidel: order has length 1 for 2 rows")
+    (fun () -> ignore (Solver.solve_gauss_seidel ~order:[| 0 |] a [| 1.; 1. |]));
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Solver.solve_gauss_seidel: order is not a permutation")
+    (fun () ->
+      ignore (Solver.solve_gauss_seidel ~order:[| 0; 0 |] a [| 1.; 1. |]))
 
 (* ------------------------------------------------------------------ *)
 (* Expm *)
@@ -551,6 +772,14 @@ let () =
           Alcotest.test_case "normalize" `Quick test_vec_normalize;
           Alcotest.test_case "dimension mismatch" `Quick test_vec_mismatch;
         ] );
+      ( "multivec",
+        [
+          Alcotest.test_case "basics" `Quick test_multivec_basics;
+          Alcotest.test_case "columns roundtrip" `Quick
+            test_multivec_cols_roundtrip;
+          Alcotest.test_case "axpy from column" `Quick test_multivec_axpy;
+          Alcotest.test_case "invalid input" `Quick test_multivec_errors;
+        ] );
       ( "sparse",
         [
           Alcotest.test_case "build and get" `Quick test_sparse_build_get;
@@ -559,8 +788,16 @@ let () =
           Alcotest.test_case "transpose" `Quick test_sparse_transpose;
           Alcotest.test_case "row sums" `Quick test_sparse_row_sums;
           Alcotest.test_case "zero entries dropped" `Quick test_sparse_zero_dropped;
+          Alcotest.test_case "bounds checks" `Quick test_sparse_bounds;
+          Alcotest.test_case "blocked products" `Quick test_sparse_mul_multi;
+          Alcotest.test_case "blocked shape mismatch" `Quick
+            test_sparse_multi_shape_mismatch;
         ]
-        @ qsuite [ prop_spmv_matches_dense; prop_transpose_involution ] );
+        @ qsuite
+            [
+              prop_spmv_matches_dense; prop_transpose_involution;
+              prop_blocked_matches_columns;
+            ] );
       ( "fox-glynn",
         [
           Alcotest.test_case "matches direct pmf" `Quick test_fox_glynn_small;
@@ -578,6 +815,14 @@ let () =
           Alcotest.test_case "steady state 2-state" `Quick test_steady_state_two_state;
           Alcotest.test_case "steady state birth-death" `Quick test_steady_state_birth_death;
           Alcotest.test_case "power iteration" `Quick test_power_iteration;
+          Alcotest.test_case "multi-RHS gauss-seidel" `Quick
+            test_gs_multi_matches_single;
+          Alcotest.test_case "multi-RHS jacobi" `Quick
+            test_jacobi_multi_matches_single;
+          Alcotest.test_case "convergence criterion" `Quick test_solver_criterion;
+          Alcotest.test_case "SCC-style update order" `Quick test_gs_order;
+          Alcotest.test_case "invalid order rejected" `Quick
+            test_gs_order_invalid;
         ]
         @ qsuite [ prop_gs_solves_random_dd_system ] );
       ( "expm",

@@ -470,6 +470,8 @@ let test_stats_registry_compat () =
       ("analysis.weight_hits", s.Analysis.weight_hits);
       ("analysis.mixture_passes", s.Analysis.mixture_passes);
       ("analysis.mixture_steps", s.Analysis.mixture_steps);
+      ("analysis.batch_passes", s.Analysis.batch_passes);
+      ("analysis.batch_columns", s.Analysis.batch_columns);
     ]
 
 (* ------------------------------------------------------------------ *)

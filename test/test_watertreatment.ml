@@ -644,6 +644,75 @@ let test_fig7_curve_matches_pointwise () =
         (fun t -> Measures.accumulated_cost m ~time:t))
     d1_equiv_configs
 
+let test_analyze_all_matches_analyze () =
+  (* the paper's 5-strategy comparison through the batched entry point:
+     analyze_all (multi-RHS steady state, blocked cost curves, parallel
+     fan-out) must agree with five independent analyze calls to 1e-12 *)
+  let configs =
+    [ Facility.ded; Facility.frf 1; Facility.frf 2; Facility.fff 1; Facility.fff 2 ]
+  in
+  let batch =
+    Measures.analyze_all (List.map (Facility.line_model Facility.Line2) configs)
+  in
+  Alcotest.(check int) "result count" (List.length configs) (List.length batch);
+  let times = equiv_times 10. in
+  List.iter2
+    (fun config batched ->
+      let single = analyze Facility.Line2 config in
+      let name = Facility.config_name config in
+      check_close ~eps:1e-12 (name ^ " availability")
+        (Measures.availability single)
+        (Measures.availability batched);
+      check_close ~eps:1e-12 (name ^ " unreliability")
+        (Measures.unreliability single ~time:10.)
+        (Measures.unreliability batched ~time:10.);
+      let inst_s, acc_s = Measures.cost_curves single ~times in
+      let inst_b, acc_b = Measures.cost_curves batched ~times in
+      List.iter2
+        (fun (t, e) (_, a) ->
+          check_close ~eps:1e-12 (Printf.sprintf "%s inst cost %g" name t) e a)
+        inst_s inst_b;
+      List.iter2
+        (fun (t, e) (_, a) ->
+          check_close ~eps:1e-12 (Printf.sprintf "%s acc cost %g" name t) e a)
+        acc_s acc_b)
+    configs batch
+
+let test_scc_order_on_reliability_model () =
+  (* the reliability models carry no repair unit, so their chains are DAGs
+     over failure subsets (every state its own SCC): SCC-topological
+     Gauss-Seidel reaches the unbounded-until fixpoint in a couple of
+     sweeps, while the natural exploration order (fewest failures first)
+     is anti-topological and needs roughly one sweep per failure level *)
+  let m = Measures.analyze (Facility.reliability_model Facility.Line2) in
+  let chain = chain_of m in
+  let down = Semantics.down_pred (Measures.built m) in
+  let was = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  let v_nat = Ctmc.Reachability.eventually ~scc_order:false chain ~psi:down in
+  let v_scc = Ctmc.Reachability.eventually chain ~psi:down in
+  Obs.Metrics.set_enabled was;
+  let iters =
+    List.filter_map
+      (fun s ->
+        if s.Obs.Metrics.solver = "gauss_seidel" then Some s.Obs.Metrics.iterations
+        else None)
+      (Obs.Metrics.snapshot ()).Obs.Metrics.solves
+  in
+  (match iters with
+  | [ natural; ordered ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fewer sweeps on line 2 reliability (%d < %d)" ordered
+           natural)
+        true (ordered < natural)
+  | _ -> Alcotest.fail "expected exactly two gauss_seidel solves");
+  Array.iteri
+    (fun s expected ->
+      check_close ~eps:1e-11 (Printf.sprintf "fixpoint state %d" s) expected
+        v_scc.(s))
+    v_nat
+
 let test_ablation_importance () =
   let table = Ablations.importance_table Facility.Line2 in
   (* the reservoir must rank first by Birnbaum importance *)
@@ -713,6 +782,10 @@ let () =
             test_fig6_curve_matches_pointwise;
           Alcotest.test_case "fig7 curve = pointwise" `Slow
             test_fig7_curve_matches_pointwise;
+          Alcotest.test_case "analyze_all = 5 x analyze" `Slow
+            test_analyze_all_matches_analyze;
+          Alcotest.test_case "scc order on reliability model" `Quick
+            test_scc_order_on_reliability_model;
         ] );
       ( "cross-validation",
         [
