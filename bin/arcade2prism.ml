@@ -17,12 +17,18 @@ let translate input output disaster =
     | [] -> None
     | failed -> Some (Core.Semantics.disaster_state model ~failed)
   in
-  let text =
-    try Core.To_prism.to_string ?initial model
+  let ast =
+    try Core.To_prism.translate ?initial model
     with Core.To_prism.Untranslatable msg ->
       Printf.eprintf "cannot translate: %s\n" msg;
       exit 1
   in
+  (* self-check the generated module system (ARC-P rules): a dead guard or
+     an orphaned formula in the output is a translator regression *)
+  List.iter
+    (fun d -> prerr_endline (Lint.Diagnostic.to_string d))
+    (Lint.Prism_rules.check ast);
+  let text = Prism.Printer.model_to_string ast in
   let emit oc =
     output_string oc text;
     if measures <> [] then begin

@@ -8,10 +8,23 @@ let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
-let analyze input queries disaster stats dot_prefix trace metrics =
+let run_lint input ~werror =
+  let diags = Lint.lint_file input in
+  List.iter (fun d -> print_endline (Lint.Diagnostic.to_string d)) diags;
+  let errors = Lint.Diagnostic.count Lint.Diagnostic.Error diags in
+  let warnings = Lint.Diagnostic.count Lint.Diagnostic.Warning diags in
+  if errors > 0 || (werror && warnings > 0) then begin
+    Printf.eprintf "%s: lint failed (%d error(s), %d warning(s)%s)\n" input
+      errors warnings
+      (if werror && errors = 0 then ", warnings are errors" else "");
+    exit 1
+  end
+
+let analyze input queries disaster stats dot_prefix trace metrics lint werror =
   Obs.init ();
   (match trace with Some path -> Obs.Trace.set_output (Some path) | None -> ());
   if metrics then Obs.Metrics.set_enabled true;
+  if lint || werror then run_lint input ~werror;
   let model, measures =
     try Core.Xml_io.load input
     with Core.Xml_io.Schema_error msg | Failure msg ->
@@ -42,14 +55,18 @@ let analyze input queries disaster stats dot_prefix trace metrics =
   if stats then
     Format.printf "%a@." Ctmc.Chain.pp_stats built.Core.Semantics.chain;
   let csl = Core.Measures.to_csl_model m in
+  let failures = ref 0 in
   let run name query =
     match Csl.Checker.check_string csl query with
     | Csl.Checker.Value v -> Format.printf "%-30s %s = %.9f@." name query v
     | Csl.Checker.Satisfied b -> Format.printf "%-30s %s = %b@." name query b
     | exception (Csl.Checker.Unsupported msg | Failure msg) ->
+        incr failures;
         Format.printf "%-30s %s : error (%s)@." name query msg
-    | exception Csl.Parser.Syntax_error { position; message } ->
-        Format.printf "%-30s %s : syntax error at %d (%s)@." name query position message
+    | exception Csl.Parser.Syntax_error { line; column; message; _ } ->
+        incr failures;
+        Format.printf "%-30s %s : syntax error at %d:%d (%s)@." name query line
+          column message
   in
   List.iter (fun { Core.Xml_io.measure_name; query } -> run measure_name query) measures;
   List.iteri (fun i q -> run (Printf.sprintf "query[%d]" i) q) queries;
@@ -61,7 +78,11 @@ let analyze input queries disaster stats dot_prefix trace metrics =
     run "steady-state cost" "R{\"cost\"}=? [ S ]"
   end;
   if metrics then
-    Format.printf "%a@." Obs.Metrics.pp (Obs.Metrics.snapshot ())
+    Format.printf "%a@." Obs.Metrics.pp (Obs.Metrics.snapshot ());
+  if !failures > 0 then begin
+    Printf.eprintf "%d of the queries failed to evaluate\n" !failures;
+    exit 1
+  end
 
 let input_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL.xml" ~doc:"Arcade XML model")
@@ -101,12 +122,23 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let lint_arg =
+  let doc =
+    "Run the static analyzer (Arcade.Lint) on the model before building \
+     the state space; exit 1 on error-level findings."
+  in
+  Arg.(value & flag & info [ "lint" ] ~doc)
+
+let werror_arg =
+  let doc = "With $(b,--lint) (implied): treat lint warnings as errors." in
+  Arg.(value & flag & info [ "werror" ] ~doc)
+
 let cmd =
   let doc = "Model-check CSL/CSRL measures on Arcade XML models" in
   Cmd.v
     (Cmd.info "arcade_analyze" ~version:"1.0.0" ~doc)
     Term.(
       const analyze $ input_arg $ query_arg $ disaster_arg $ stats_arg
-      $ dot_arg $ trace_arg $ metrics_arg)
+      $ dot_arg $ trace_arg $ metrics_arg $ lint_arg $ werror_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -113,135 +113,173 @@ let to_xml ?(measures = []) model =
 (* ------------------------------------------------------------------ *)
 (* Reading *)
 
-let float_of_attr el key =
-  let raw = X.attribute_exn el key in
+(* Every reading helper takes [locate], which renders an element's source
+   position ("file:line:col: ", parser-located elements) or "" (elements
+   built programmatically), so Schema_error messages point at the offending
+   XML line rather than just an element name. *)
+
+let error_at locate el fmt =
+  Printf.ksprintf (fun msg -> raise (Schema_error (locate el ^ msg))) fmt
+
+let required locate el key =
+  match X.attribute el key with
+  | Some v -> v
+  | None ->
+      let where = match el with X.Element (tag, _, _) -> tag | X.Text _ -> "#text" in
+      error_at locate el "missing attribute %S on <%s>" key where
+
+let float_of_attr locate el key =
+  let raw = required locate el key in
   match float_of_string_opt raw with
   | Some f -> f
-  | None -> error "attribute %s=%S is not a number" key raw
+  | None -> error_at locate el "attribute %s=%S is not a number" key raw
 
-let int_of_attr el key =
-  let raw = X.attribute_exn el key in
+let int_of_attr locate el key =
+  let raw = required locate el key in
   match int_of_string_opt raw with
   | Some i -> i
-  | None -> error "attribute %s=%S is not an integer" key raw
+  | None -> error_at locate el "attribute %s=%S is not an integer" key raw
 
-let bool_of_attr ?default el key =
+let bool_of_attr ?default locate el key =
   match (X.attribute el key, default) with
   | Some "true", _ -> true
   | Some "false", _ -> false
-  | Some other, _ -> error "attribute %s=%S is not a boolean" key other
+  | Some other, _ -> error_at locate el "attribute %s=%S is not a boolean" key other
   | None, Some d -> d
-  | None, None -> error "missing boolean attribute %s" key
+  | None, None -> error_at locate el "missing boolean attribute %s" key
 
-let mode_of_xml el =
+let mode_of_xml locate el =
   Component.failure_mode
-    ~name:(X.attribute_exn el "name")
-    ~mttf:(float_of_attr el "mttf") ~mttr:(float_of_attr el "mttr")
+    ~name:(required locate el "name")
+    ~mttf:(float_of_attr locate el "mttf")
+    ~mttr:(float_of_attr locate el "mttr")
     ~failed_cost:
       (match X.attribute el "failed-cost" with
-      | Some _ -> float_of_attr el "failed-cost"
+      | Some _ -> float_of_attr locate el "failed-cost"
       | None -> 3.)
     ~repair_stages:
       (match X.attribute el "repair-stages" with
-      | Some _ -> int_of_attr el "repair-stages"
+      | Some _ -> int_of_attr locate el "repair-stages"
       | None -> 1)
     ()
 
-let component_of_xml el =
+let component_of_xml locate el =
   Component.make
-    ~extra_modes:(List.map mode_of_xml (X.find_children el "mode"))
-    ~name:(X.attribute_exn el "name")
-    ~mttf:(float_of_attr el "mttf") ~mttr:(float_of_attr el "mttr")
+    ~extra_modes:(List.map (mode_of_xml locate) (X.find_children el "mode"))
+    ~name:(required locate el "name")
+    ~mttf:(float_of_attr locate el "mttf")
+    ~mttr:(float_of_attr locate el "mttr")
     ~repair_stages:
       (match X.attribute el "repair-stages" with
-      | Some _ -> int_of_attr el "repair-stages"
+      | Some _ -> int_of_attr locate el "repair-stages"
       | None -> 1)
     ~failed_cost:
       (match X.attribute el "failed-cost" with
-      | Some _ -> float_of_attr el "failed-cost"
+      | Some _ -> float_of_attr locate el "failed-cost"
       | None -> 3.)
     ~operational_cost:
       (match X.attribute el "operational-cost" with
-      | Some _ -> float_of_attr el "operational-cost"
+      | Some _ -> float_of_attr locate el "operational-cost"
       | None -> 0.)
     ()
 
-let refs_of tag el =
-  List.map (fun child -> X.attribute_exn child "ref") (X.find_children el tag)
+let refs_of locate tag el =
+  List.map (fun child -> required locate child "ref") (X.find_children el tag)
 
-let repair_unit_of_xml el =
-  let members = refs_of "component" el in
+let repair_unit_of_xml locate el =
+  let members = refs_of locate "component" el in
   let strategy =
-    match String.lowercase_ascii (X.attribute_exn el "strategy") with
+    match String.lowercase_ascii (required locate el "strategy") with
     | "priority" -> Repair.Priority members
     | other -> Repair.strategy_of_string other
   in
   Repair.make
-    ~name:(X.attribute_exn el "name")
+    ~name:(required locate el "name")
     ~strategy ~components:members
-    ~crews:(match X.attribute el "crews" with Some _ -> int_of_attr el "crews" | None -> 1)
+    ~crews:
+      (match X.attribute el "crews" with
+      | Some _ -> int_of_attr locate el "crews"
+      | None -> 1)
     ~idle_cost:
       (match X.attribute el "idle-cost" with
-      | Some _ -> float_of_attr el "idle-cost"
+      | Some _ -> float_of_attr locate el "idle-cost"
       | None -> 1.)
     ~busy_cost:
       (match X.attribute el "busy-cost" with
-      | Some _ -> float_of_attr el "busy-cost"
+      | Some _ -> float_of_attr locate el "busy-cost"
       | None -> 0.)
-    ~preemptive:(bool_of_attr ~default:false el "preemptive")
+    ~preemptive:(bool_of_attr ~default:false locate el "preemptive")
     ()
 
-let spare_unit_of_xml el =
+let spare_unit_of_xml locate el =
   Spare.make
-    ~name:(X.attribute_exn el "name")
-    ~mode:(Spare.mode_of_string (X.attribute_exn el "mode"))
-    ~primaries:(refs_of "primary" el) ~spares:(refs_of "spare" el) ()
+    ~name:(required locate el "name")
+    ~mode:(Spare.mode_of_string (required locate el "mode"))
+    ~primaries:(refs_of locate "primary" el)
+    ~spares:(refs_of locate "spare" el) ()
 
-let rec fault_tree_of_xml el =
+let rec fault_tree_of_xml_at locate el =
   match X.name el with
-  | "basic" -> Fault_tree.basic (X.attribute_exn el "ref")
-  | "and" -> Fault_tree.and_ (List.map fault_tree_of_xml (X.child_elements el))
-  | "or" -> Fault_tree.or_ (List.map fault_tree_of_xml (X.child_elements el))
+  | "basic" -> Fault_tree.basic (required locate el "ref")
+  | "and" ->
+      Fault_tree.and_ (List.map (fault_tree_of_xml_at locate) (X.child_elements el))
+  | "or" ->
+      Fault_tree.or_ (List.map (fault_tree_of_xml_at locate) (X.child_elements el))
   | "kofn" ->
-      Fault_tree.kofn (int_of_attr el "k")
-        (List.map fault_tree_of_xml (X.child_elements el))
-  | other -> error "unexpected fault-tree element <%s>" other
+      Fault_tree.kofn (int_of_attr locate el "k")
+        (List.map (fault_tree_of_xml_at locate) (X.child_elements el))
+  | other -> error_at locate el "unexpected fault-tree element <%s>" other
 
-let measure_of_xml el =
-  { measure_name = X.attribute_exn el "name"; query = X.attribute_exn el "query" }
+let measure_of_xml locate el =
+  { measure_name = required locate el "name"; query = required locate el "query" }
 
-let of_xml doc =
+let no_location : X.t -> string = fun _ -> ""
+
+let locator_prefix ?file pos el =
+  match pos el with
+  | Some (line, column) -> (
+      match file with
+      | Some f -> Printf.sprintf "%s:%d:%d: " f line column
+      | None -> Printf.sprintf "%d:%d: " line column)
+  | None -> ( match file with Some f -> f ^ ": " | None -> "")
+
+let fault_tree_of_xml el = fault_tree_of_xml_at no_location el
+
+let of_xml ?file ?pos doc =
+  let locate =
+    match pos with None -> no_location | Some pos -> locator_prefix ?file pos
+  in
   (match doc with
   | X.Element ("arcade", _, _) -> ()
-  | X.Element (other, _, _) -> error "expected root <arcade>, got <%s>" other
+  | X.Element (other, _, _) -> error_at locate doc "expected root <arcade>, got <%s>" other
   | X.Text _ -> error "expected an element");
-  let name = X.attribute_exn doc "name" in
+  let name = required locate doc "name" in
   let components =
     match X.find_child doc "components" with
-    | Some el -> List.map component_of_xml (X.find_children el "component")
-    | None -> error "missing <components>"
+    | Some el -> List.map (component_of_xml locate) (X.find_children el "component")
+    | None -> error_at locate doc "missing <components>"
   in
   let repair_units =
     match X.find_child doc "repair-units" with
-    | Some el -> List.map repair_unit_of_xml (X.find_children el "repair-unit")
+    | Some el -> List.map (repair_unit_of_xml locate) (X.find_children el "repair-unit")
     | None -> []
   in
   let spare_units =
     match X.find_child doc "spare-units" with
-    | Some el -> List.map spare_unit_of_xml (X.find_children el "spare-unit")
+    | Some el -> List.map (spare_unit_of_xml locate) (X.find_children el "spare-unit")
     | None -> []
   in
   let fault_tree =
     match X.find_child doc "fault-tree" with
     | Some el -> (
         match X.child_elements el with
-        | [ root ] -> fault_tree_of_xml root
-        | _ -> error "<fault-tree> must have exactly one root gate")
-    | None -> error "missing <fault-tree>"
+        | [ root ] -> fault_tree_of_xml_at locate root
+        | _ -> error_at locate el "<fault-tree> must have exactly one root gate")
+    | None -> error_at locate doc "missing <fault-tree>"
   in
   let measures =
     match X.find_child doc "measures" with
-    | Some el -> List.map measure_of_xml (X.find_children el "measure")
+    | Some el -> List.map (measure_of_xml locate) (X.find_children el "measure")
     | None -> []
   in
   ( Model.make ~name ~components ~repair_units ~spare_units ~fault_tree (),
@@ -250,9 +288,9 @@ let of_xml doc =
 let save ?measures path model = X.write_file path (to_xml ?measures model)
 
 let load path =
-  let doc =
-    try X.parse_file path
+  let doc, pos =
+    try X.parse_file_located path
     with X.Parse_error { line; column; message } ->
-      error "%s: parse error at %d:%d: %s" path line column message
+      error "%s:%d:%d: parse error: %s" path line column message
   in
-  of_xml doc
+  of_xml ~file:path ~pos doc

@@ -47,9 +47,13 @@ type measure_spec = { measure_name : string; query : string }
 
 val to_xml : ?measures:measure_spec list -> Model.t -> Xml_kit.t
 
-val of_xml : Xml_kit.t -> Model.t * measure_spec list
+val of_xml :
+  ?file:string -> ?pos:Xml_kit.locator -> Xml_kit.t -> Model.t * measure_spec list
 (** Raises {!Schema_error} on malformed documents (and propagates
-    [Invalid_argument] from model validation). *)
+    [Invalid_argument] from model validation). When [pos] (and optionally
+    [file]) are given — e.g. from {!Xml_kit.parse_file_located} — error
+    messages carry a [file:line:column:] prefix locating the offending
+    element. *)
 
 val save : ?measures:measure_spec list -> string -> Model.t -> unit
 

@@ -1,14 +1,34 @@
-exception Syntax_error of { position : int; message : string }
+exception
+  Syntax_error of { position : int; line : int; column : int; message : string }
 
 let () =
   Printexc.register_printer (function
-    | Syntax_error { position; message } ->
-        Some (Printf.sprintf "Csl.Parser.Syntax_error (at %d: %s)" position message)
+    | Syntax_error { line; column; message; _ } ->
+        Some
+          (Printf.sprintf "Csl.Parser.Syntax_error (at %d:%d: %s)" line column
+             message)
     | _ -> None)
 
 type state = { input : string; mutable pos : int }
 
-let error st message = raise (Syntax_error { position = st.pos; message })
+(* Queries embedded in XML <measures> elements span several lines; report
+   errors as line:column within the query string rather than a raw byte
+   offset. *)
+let line_column input pos =
+  let line = ref 1 and col = ref 1 in
+  let stop = min pos (String.length input) in
+  for i = 0 to stop - 1 do
+    if input.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let error st message =
+  let line, column = line_column st.input st.pos in
+  raise (Syntax_error { position = st.pos; line; column; message })
 
 let at_end st = st.pos >= String.length st.input
 

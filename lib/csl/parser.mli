@@ -15,6 +15,10 @@
     identifiers (boolean variables), or parenthesized PRISM expressions
     over state variables. *)
 
-exception Syntax_error of { position : int; message : string }
+exception
+  Syntax_error of { position : int; line : int; column : int; message : string }
+(** [position] is the raw byte offset into the query string; [line] /
+    [column] (both 1-based) locate it within the possibly multi-line query
+    text, e.g. one embedded in an XML [<measures>] element. *)
 
 val parse : string -> Ast.state_formula

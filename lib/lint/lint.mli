@@ -1,0 +1,48 @@
+(** Arcade.Lint: a multi-layer static analyzer for models, chains and CSL
+    queries.
+
+    Everything here runs {e without building the state space}: model-layer
+    rules work on an unvalidated mirror of the XML, chain-layer rules on
+    per-component skeleton digraphs, and query-layer rules on the CSL AST
+    against the model's statically-known label and reward sets. A broken
+    model is rejected in milliseconds instead of after minutes of state
+    exploration.
+
+    See {!Diagnostic} for the finding type, {!Model_rules},
+    {!Chain_rules}, {!Query_rules} and {!Prism_rules} for the rule
+    catalogues, and [bin/arcade_lint] for the CLI. *)
+
+module Diagnostic = Diagnostic
+module Model_rules = Model_rules
+module Chain_rules = Chain_rules
+module Query_rules = Query_rules
+module Prism_rules = Prism_rules
+
+val lint_doc :
+  ?file:string -> ?pos:Xml_kit.locator -> Xml_kit.t -> Diagnostic.t list
+(** Lint a parsed Arcade document: schema extraction, model-layer and
+    chain-layer rules always; query-layer rules over the embedded measures
+    once the model is error-free. Results are sorted and deduplicated. *)
+
+val lint_string : ?file:string -> string -> Diagnostic.t list
+(** Parse (with positions) and lint; an XML parse error yields a single
+    [ARC-X001]. *)
+
+val lint_file : string -> Diagnostic.t list
+
+val lint_model :
+  ?queries:(string * string) list -> Core.Model.t -> Diagnostic.t list
+(** Lint an API-constructed (already validated) model, optionally with
+    named queries. No source positions. *)
+
+val has_errors : Diagnostic.t list -> bool
+
+val debug_check :
+  what:string -> ?queries:(string * string) list -> Core.Model.t -> unit
+(** When the [ARCADE_DEBUG_LINT] environment variable is set ([1], [true]
+    or [yes]): lint the model, print warnings and errors to stderr, and
+    fail on errors. No-op otherwise — generated-model constructors call
+    this unconditionally. *)
+
+val catalogue : Diagnostic.rule list
+(** All shipped rules, for [arcade_lint --rules] and the documentation. *)

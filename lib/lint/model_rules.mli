@@ -1,0 +1,109 @@
+(** Model-layer lint rules (ARC-M*, ARC-F*, ARC-X001).
+
+    The rules run over a {e raw} model — an unvalidated mirror of
+    {!Core.Model} extracted directly from the XML tree — so that every
+    mistake the validating constructors would throw on is instead reported
+    statically, with a source position, and several independent mistakes
+    surface in one pass.
+
+    Rule catalogue:
+    - [ARC-X001] (error): malformed schema item (missing/unparsable
+      attribute, unexpected element, parse error).
+    - [ARC-M001] (error): reference to an unknown component or failure mode
+      (from repair units, spare units or the fault tree).
+    - [ARC-M002] (error): duplicate component name.
+    - [ARC-M003] (error): a component repaired by more than one repair unit.
+    - [ARC-M004] (warning): component never referenced by the fault tree or
+      a spare unit.
+    - [ARC-M005] (warning): the model has repair units, but this component
+      is covered by none — once failed it stays failed.
+    - [ARC-M006] (warning): dedicated strategy with an explicit crew count
+      it ignores.
+    - [ARC-M007] (error/warning): non-positive crew count, empty repair
+      unit, or more crews than components.
+    - [ARC-M008] (error): non-positive or non-finite MTTF/MTTR.
+    - [ARC-M009] (warning): MTTR not below MTTF — likely swapped means.
+    - [ARC-M010] (error/warning): degenerate Erlang repair-stage count.
+    - [ARC-M011] (error): priority list does not match the unit's
+      components (unknown names, omissions, duplicates).
+    - [ARC-M012] (error): spare-unit structure (no primaries,
+      primary/spare overlap, a component in two spare units, warm factor
+      outside (0, 1)).
+    - [ARC-F001] (warning): no-op gate (single-input and/or, 1-of-n,
+      n-of-n).
+    - [ARC-F002] (warning): structurally duplicate gate inputs.
+    - [ARC-F003] (warning): gate input that never determines the top event
+      (minimal cut sets unchanged without it).
+    - [ARC-F004] (error): malformed gate (no inputs, k outside 1..n). *)
+
+type pos = (int * int) option
+
+type raw_mode = {
+  rm_name : string;
+  rm_mttf : float option;  (** [None]: missing or unparsable (ARC-X001) *)
+  rm_mttr : float option;
+  rm_stages : int option;
+  rm_pos : pos;
+}
+
+type raw_component = {
+  rc_name : string;
+  rc_modes : raw_mode list;  (** primary mode (["failed"]) first *)
+  rc_pos : pos;
+}
+
+type raw_strategy =
+  | Sdedicated
+  | Sfcfs
+  | Sfrf
+  | Sfff
+  | Spriority of string list  (** the priority order, most urgent first *)
+  | Sunknown of string
+
+type raw_repair_unit = {
+  rr_name : string;
+  rr_strategy : raw_strategy;
+  rr_crews : int option;  (** [None]: attribute absent *)
+  rr_components : string list;
+  rr_pos : pos;
+}
+
+type raw_spare_mode = Mhot | Mwarm of float | Mcold
+
+type raw_spare_unit = {
+  rs_name : string;
+  rs_mode : raw_spare_mode;
+  rs_primaries : string list;
+  rs_spares : string list;
+  rs_pos : pos;
+}
+
+type raw_gate =
+  | Gbasic of string * pos
+  | Gand of raw_gate list * pos
+  | Gor of raw_gate list * pos
+  | Gkofn of int option * raw_gate list * pos
+
+type raw_measure = { ms_name : string; ms_query : string; ms_pos : pos }
+
+type t = {
+  raw_name : string;
+  raw_components : raw_component list;
+  raw_repair_units : raw_repair_unit list;
+  raw_spare_units : raw_spare_unit list;
+  raw_fault_tree : raw_gate option;
+  raw_measures : raw_measure list;
+}
+
+val of_doc : ?pos:Xml_kit.locator -> Xml_kit.t -> t * Diagnostic.t list
+(** Extract a raw model from a parsed document. Never raises: malformed
+    pieces become [ARC-X001] diagnostics and the remaining structure is
+    kept best-effort. [pos] (from {!Xml_kit.parse_string_located}) anchors
+    diagnostics to source lines. *)
+
+val of_model : Core.Model.t -> t
+(** Lower an already-validated model so API-constructed models run through
+    the same rules (no source positions). *)
+
+val check : t -> Diagnostic.t list
+(** Run all model-layer rules. *)

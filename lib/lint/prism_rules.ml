@@ -1,0 +1,109 @@
+module D = Diagnostic
+module Ast = Prism.Ast
+
+(* ------------------------------------------------------------------ *)
+(* PRISM-export rules: lints over a Prism.Ast.model, guarding the
+   Core.To_prism export path (and hand-written models alike). These do not
+   run on Arcade XML by default — they fire from arcade2prism and from
+   arcade_lint --prism. *)
+
+(* A constants-only environment: Eval_error means "depends on a state
+   variable", which is fine — only guards that evaluate to a constant
+   [false] independent of state are reported. *)
+let constant_env (model : Ast.model) =
+  match Prism.Eval.eval_constants model.Ast.constants with
+  | constants ->
+      Some
+        (Prism.Eval.make_env ~constants ~formulas:model.Ast.formulas
+           ~lookup_var:(fun _ -> None))
+  | exception Prism.Eval.Eval_error _ -> None
+
+let check (model : Ast.model) =
+  let out = ref [] in
+  let push d = out := d :: !out in
+  (* ARC-P001: a guard that is constantly false — its command is dead *)
+  (match constant_env model with
+  | None -> ()
+  | Some env ->
+      List.iter
+        (fun m ->
+          List.iteri
+            (fun i (cmd : Ast.command) ->
+              match Prism.Eval.eval_bool env cmd.Ast.guard with
+              | false ->
+                  push
+                    (D.make ~code:"ARC-P001" ~severity:D.Warning
+                       ~subject:
+                         (Printf.sprintf "module %s, command %d" m.Ast.mod_name
+                            (i + 1))
+                       "guard %s is constantly false: the command can never \
+                        fire"
+                       (Prism.Printer.expr_to_string cmd.Ast.guard)
+                       ~hint:"remove the command or fix the guard")
+              | true -> ()
+              | exception Prism.Eval.Eval_error _ ->
+                  (* depends on state variables: not statically decidable *)
+                  ())
+            m.Ast.mod_commands)
+        model.Ast.modules);
+  (* Name-usage census for ARC-P002 / ARC-P003. A name is used when it
+     appears in any expression of the model outside its own definition. *)
+  let uses = Hashtbl.create 32 in
+  let use name = Hashtbl.replace uses name () in
+  let use_expr e = List.iter use (Ast.expr_vars e) in
+  List.iter (fun (f : Ast.formula_def) -> use_expr f.Ast.formula_body) model.Ast.formulas;
+  List.iter (fun (l : Ast.label_def) -> use_expr l.Ast.label_body) model.Ast.labels;
+  List.iter
+    (fun (c : Ast.const_def) -> use_expr c.Ast.const_value)
+    model.Ast.constants;
+  List.iter
+    (fun (m : Ast.module_def) ->
+      List.iter
+        (fun (v : Ast.var_decl) ->
+          (match v.Ast.var_type with
+          | Ast.Tbool -> ()
+          | Ast.Tint_range (lo, hi) ->
+              use_expr lo;
+              use_expr hi);
+          Option.iter use_expr v.Ast.var_init)
+        m.Ast.mod_vars;
+      List.iter
+        (fun (cmd : Ast.command) ->
+          use_expr cmd.Ast.guard;
+          List.iter
+            (fun (a : Ast.alternative) ->
+              use_expr a.Ast.weight;
+              List.iter (fun (_, e) -> use_expr e) a.Ast.update)
+            cmd.Ast.alternatives)
+        m.Ast.mod_commands)
+    model.Ast.modules;
+  List.iter
+    (fun (r : Ast.rewards_def) ->
+      List.iter
+        (fun (item : Ast.reward_item) ->
+          use_expr item.Ast.reward_guard;
+          use_expr item.Ast.reward_value)
+        r.Ast.rewards_items)
+    model.Ast.rewards;
+  (* ARC-P002: unused constant *)
+  List.iter
+    (fun (c : Ast.const_def) ->
+      if not (Hashtbl.mem uses c.Ast.const_name) then
+        push
+          (D.make ~code:"ARC-P002" ~severity:D.Warning
+             ~subject:(Printf.sprintf "constant %s" c.Ast.const_name)
+             "constant is never referenced"))
+    model.Ast.constants;
+  (* ARC-P003: unused formula. A formula used only by another unused
+     formula still counts as used here — one pass is enough for the
+     translator's output, where formula chains are shallow. *)
+  List.iter
+    (fun (f : Ast.formula_def) ->
+      if not (Hashtbl.mem uses f.Ast.formula_name) then
+        push
+          (D.make ~code:"ARC-P003" ~severity:D.Warning
+             ~subject:(Printf.sprintf "formula %s" f.Ast.formula_name)
+             "formula is never referenced by a label, guard, rate, update \
+              or reward"))
+    model.Ast.formulas;
+  List.rev !out

@@ -1,0 +1,12 @@
+(** PRISM-export lint rules (ARC-P family), guarding the {!Core.To_prism} path
+    (and hand-written {!Prism.Ast} models alike). Not part of the default
+    XML lint: they run from [arcade2prism] and [arcade_lint --prism].
+
+    Rule catalogue:
+    - [ARC-P001] (warning): a command guard that evaluates to [false] from
+      constants and formulas alone — the command can never fire.
+    - [ARC-P002] (warning): a constant never referenced.
+    - [ARC-P003] (warning): a formula never referenced by a label, guard,
+      rate, update or reward. *)
+
+val check : Prism.Ast.model -> Diagnostic.t list

@@ -95,19 +95,29 @@ let repair_unit line config =
     ~strategy:config.strategy ~components:(component_names line) ()
 
 let line_model line config =
-  Model.make
-    ~name:(Printf.sprintf "%s_%s" (line_name line) (config_name config))
-    ~components:(components line)
-    ~repair_units:[ repair_unit line config ]
-    ~spare_units:[ spare_unit line ]
-    ~fault_tree:(fault_tree line) ()
+  let model =
+    Model.make
+      ~name:(Printf.sprintf "%s_%s" (line_name line) (config_name config))
+      ~components:(components line)
+      ~repair_units:[ repair_unit line config ]
+      ~spare_units:[ spare_unit line ]
+      ~fault_tree:(fault_tree line) ()
+  in
+  Lint.debug_check ~what:model.Model.name model;
+  model
 
 let reliability_model line =
-  Model.make
-    ~name:(line_name line ^ "_reliability")
-    ~components:(components line)
-    ~spare_units:[ spare_unit line ]
-    ~fault_tree:(fault_tree line) ()
+  let model =
+    Model.make
+      ~name:(line_name line ^ "_reliability")
+      ~components:(components line)
+      ~spare_units:[ spare_unit line ]
+      ~fault_tree:(fault_tree line) ()
+  in
+  (* reliability models only yield info-level findings (ARC-C001): the
+     debug hook stays silent on them *)
+  Lint.debug_check ~what:model.Model.name model;
+  model
 
 let disaster1 line = pumps line
 

@@ -20,9 +20,12 @@ module Parser = struct
     mutable pos : int;
     mutable line : int;
     mutable col : int;
+    mutable record : (t * (int * int)) list;
+        (* element node -> (line, column) of its opening '<', collected
+           when a caller asked for a located parse *)
   }
 
-  let make input = { input; pos = 0; line = 1; col = 1 }
+  let make input = { input; pos = 0; line = 1; col = 1; record = [] }
 
   let len st = String.length st.input
 
@@ -200,19 +203,24 @@ module Parser = struct
     List.rev !attrs
 
   let rec element st =
+    let at = (st.line, st.col) in
     skip_exact st "<";
     let tag = name st in
     let attrs = attributes st in
     skip_ws st;
-    if looking_at st "/>" then begin
-      skip_exact st "/>";
-      Element (tag, attrs, [])
-    end
-    else begin
-      skip_exact st ">";
-      let kids = content st tag in
-      Element (tag, attrs, kids)
-    end
+    let node =
+      if looking_at st "/>" then begin
+        skip_exact st "/>";
+        Element (tag, attrs, [])
+      end
+      else begin
+        skip_exact st ">";
+        let kids = content st tag in
+        Element (tag, attrs, kids)
+      end
+    in
+    st.record <- (node, at) :: st.record;
+    node
 
   and content st tag =
     let kids = ref [] in
@@ -302,13 +310,37 @@ end
 
 let parse_string input = Parser.document (Parser.make input)
 
-let parse_file path =
+type locator = t -> (int * int) option
+
+(* Position lookup keyed by node identity: every element is a fresh
+   allocation, so physical equality distinguishes structurally equal
+   subtrees. [Hashtbl.hash] is compatible with [==] (depth-bounded
+   structural hashing; collisions are resolved by the equality). *)
+module Phys = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end)
+
+let parse_string_located input =
+  let st = Parser.make input in
+  let root = Parser.document st in
+  let table = Phys.create 64 in
+  List.iter (fun (node, at) -> Phys.replace table node at) st.Parser.record;
+  (root, fun node -> Phys.find_opt table node)
+
+let read_file path =
   let ic = open_in_bin path in
   let finally () = close_in_noerr ic in
   Fun.protect ~finally (fun () ->
       let n = in_channel_length ic in
-      let contents = really_input_string ic n in
-      parse_string contents)
+      really_input_string ic n)
+
+let parse_file path = parse_string (read_file path)
+
+let parse_file_located path = parse_string_located (read_file path)
 
 (* ------------------------------------------------------------------ *)
 (* Serialization *)

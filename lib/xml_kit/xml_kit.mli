@@ -26,6 +26,19 @@ val parse_file : string -> t
 (** {!parse_string} over a file's contents. Raises [Sys_error] on IO
     failure. *)
 
+type locator = t -> (int * int) option
+(** Source positions of parsed elements: [(line, column)] of the opening
+    ['<'] (both 1-based), or [None] for nodes the locator does not know
+    (text nodes, or elements built programmatically). Lookup is by node
+    identity, so hold on to the exact subtrees the parse returned. *)
+
+val parse_string_located : string -> t * locator
+(** {!parse_string}, additionally returning a locator for every element of
+    the parsed tree — the substrate for diagnostics that point at
+    [file:line] instead of an element name. *)
+
+val parse_file_located : string -> t * locator
+
 val to_string : ?indent:int -> t -> string
 (** Serialize with the given indentation width (default 2; [0] means
     compact single-line output). Attribute values and text are escaped.
