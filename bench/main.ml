@@ -542,14 +542,9 @@ let write_json path ~artifacts ~kernel ~ablations ~micro =
   Buffer.add_string buf ",\n";
   Buffer.add_string buf (Printf.sprintf "  \"metrics\": %s" metrics_json);
   Buffer.add_string buf "\n}\n";
-  (* write-then-rename: an interrupted or crashed run can never leave a
-     truncated JSON artifact behind *)
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Buffer.contents buf));
-  Sys.rename tmp path;
+  (* write-then-rename (unique temp + rename in Obs): an interrupted or
+     crashed run can never leave a truncated JSON artifact behind *)
+  Obs.write_file_atomic path (Buffer.contents buf);
   Format.printf "wrote timings to %s@." path
 
 let () =

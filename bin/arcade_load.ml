@@ -1,0 +1,324 @@
+(* Load generator for the analysis daemon: replay a portfolio of model
+   variants x the paper's measure queries against arcade_serve and report
+   throughput, latency percentiles and amortization (session cache hits,
+   uniformization sweeps vs the one-query-per-request baseline). *)
+
+open Cmdliner
+module Json = Server.Json
+module Http = Server.Http
+
+(* The measure suite of the paper's evaluation, per request: two
+   steady-state queries, one time-bounded until, both reward operators.
+   Evaluated one query at a time these cost 3 uniformization sweeps per
+   request (the S queries are steady-state solves); the daemon's batching
+   answers them in at most 2 sweeps per same-model group. *)
+let queries =
+  [
+    "S=? [ \"full_service\" ]";
+    "S=? [ \"operational\" ]";
+    "P=? [ true U<=1000 !\"full_service\" ]";
+    "R{\"cost\"}=? [ C<=1000 ]";
+    "R{\"cost\"}=? [ I=1000 ]";
+  ]
+
+let naive_sweeps_per_request = 3
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio: variant i scales every mttf by (1 + 0.05 i), giving
+   distinct state spaces that hash to distinct sessions               *)
+
+let scale_mttf factor xml =
+  let rec go = function
+    | Xml_kit.Element (name, attrs, children) ->
+        let attrs =
+          List.map
+            (fun (k, v) ->
+              if k = "mttf" then
+                match float_of_string_opt v with
+                | Some x -> (k, Printf.sprintf "%g" (x *. factor))
+                | None -> (k, v)
+              else (k, v))
+            attrs
+        in
+        Xml_kit.Element (name, attrs, List.map go children)
+    | Xml_kit.Text _ as t -> t
+  in
+  go xml
+
+let portfolio_of_file file ~variants =
+  let xml = Xml_kit.parse_file file in
+  Array.init variants (fun i ->
+      Xml_kit.to_string (scale_mttf (1.0 +. (0.05 *. float_of_int i)) xml))
+
+(* ------------------------------------------------------------------ *)
+(* Wire helpers                                                       *)
+
+let num_field key json =
+  match Json.member key json with Some (Json.Num x) -> Some x | _ -> None
+
+let analyze_body ~model ~lump =
+  Json.to_string
+    (Json.Obj
+       [
+         ("model", Json.Str model);
+         ("queries", Json.List (List.map (fun q -> Json.Str q) queries));
+         ("lump", Json.Bool lump);
+       ])
+
+let wait_ready ~host ~port =
+  let rec go attempts =
+    match Http.request ~host ~port ~meth:"GET" ~path:"/health" () with
+    | 200, _ -> ()
+    | _ -> retry attempts
+    | exception (Unix.Unix_error _ | End_of_file | Http.Bad_request _) ->
+        retry attempts
+  and retry attempts =
+    if attempts <= 0 then failwith "server did not become ready"
+    else begin
+      Thread.delay 0.1;
+      go (attempts - 1)
+    end
+  in
+  go 100
+
+let fetch_stats ~host ~port =
+  match Http.request ~host ~port ~meth:"GET" ~path:"/stats" () with
+  | 200, body -> Json.parse body
+  | status, _ -> failwith (Printf.sprintf "/stats answered %d" status)
+
+let stat path stats =
+  let rec go json = function
+    | [] -> num_field "" json
+    | [ key ] -> num_field key json
+    | key :: rest -> (
+        match Json.member key json with Some j -> go j rest | None -> None)
+  in
+  Option.value (go stats path) ~default:0.
+
+(* ------------------------------------------------------------------ *)
+(* Worker threads                                                     *)
+
+type tally = {
+  mutable latencies_ms : float list;
+  mutable ok : int;
+  mutable errors : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable coalesced : int;
+}
+
+let new_tally () =
+  { latencies_ms = []; ok = 0; errors = 0; hits = 0; misses = 0; coalesced = 0 }
+
+let worker ~host ~port ~bodies ~next ~total tally =
+  let client = ref None in
+  let get_client () =
+    match !client with
+    | Some cl -> cl
+    | None ->
+        let cl = Http.connect ~host ~port in
+        client := Some cl;
+        cl
+  in
+  let drop_client () =
+    Option.iter Http.close !client;
+    client := None
+  in
+  let rec loop () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < total then begin
+      let body = bodies.(i mod Array.length bodies) in
+      let t0 = Obs.monotonic_ns () in
+      (match Http.call (get_client ()) ~meth:"POST" ~path:"/analyze" ~body () with
+      | 200, resp ->
+          let dt =
+            Int64.to_float (Int64.sub (Obs.monotonic_ns ()) t0) /. 1e6
+          in
+          tally.latencies_ms <- dt :: tally.latencies_ms;
+          tally.ok <- tally.ok + 1;
+          (match Json.string_field "session" (Json.parse resp) with
+          | Some "hit" -> tally.hits <- tally.hits + 1
+          | Some "miss" -> tally.misses <- tally.misses + 1
+          | Some "coalesced" -> tally.coalesced <- tally.coalesced + 1
+          | _ -> ()
+          | exception Json.Parse_error _ -> ())
+      | _, _ -> tally.errors <- tally.errors + 1
+      | exception (Unix.Unix_error _ | End_of_file | Http.Bad_request _) ->
+          tally.errors <- tally.errors + 1;
+          drop_client ());
+      loop ()
+    end
+  in
+  loop ();
+  drop_client ()
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1))
+
+(* ------------------------------------------------------------------ *)
+
+let load host port model variants requests clients lump out shutdown =
+  Obs.init ();
+  let dft = Server.default_config () in
+  let host = Option.value host ~default:dft.Server.host in
+  let port = Option.value port ~default:dft.Server.port in
+  let bodies =
+    Array.map
+      (fun src -> analyze_body ~model:src ~lump)
+      (portfolio_of_file model ~variants)
+  in
+  wait_ready ~host ~port;
+  let before = fetch_stats ~host ~port in
+  let next = Atomic.make 0 in
+  let tallies = Array.init clients (fun _ -> new_tally ()) in
+  let t0 = Obs.monotonic_ns () in
+  let threads =
+    Array.map
+      (fun tally ->
+        Thread.create
+          (fun () -> worker ~host ~port ~bodies ~next ~total:requests tally)
+          ())
+      tallies
+  in
+  Array.iter Thread.join threads;
+  let seconds = Int64.to_float (Int64.sub (Obs.monotonic_ns ()) t0) /. 1e9 in
+  let after = fetch_stats ~host ~port in
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let ok = sum (fun t -> t.ok)
+  and errors = sum (fun t -> t.errors)
+  and hits = sum (fun t -> t.hits)
+  and misses = sum (fun t -> t.misses)
+  and coalesced = sum (fun t -> t.coalesced) in
+  let latencies =
+    Array.of_list (Array.fold_left (fun acc t -> t.latencies_ms @ acc) [] tallies)
+  in
+  Array.sort compare latencies;
+  let mean =
+    if latencies = [||] then 0.
+    else Array.fold_left ( +. ) 0. latencies /. float_of_int (Array.length latencies)
+  in
+  let delta path = stat path after -. stat path before in
+  let mixture_passes = delta [ "analysis"; "mixture_passes" ] in
+  let naive_passes = float_of_int (naive_sweeps_per_request * ok) in
+  let shits = delta [ "sessions"; "hits" ]
+  and smisses = delta [ "sessions"; "misses" ] in
+  let hit_rate =
+    if shits +. smisses = 0. then 0. else shits /. (shits +. smisses)
+  in
+  let report =
+    Json.Obj
+      [
+        ( "portfolio",
+          Json.Obj
+            [
+              ("model", Json.Str model);
+              ("variants", Json.num (float_of_int variants));
+              ( "queries_per_request",
+                Json.num (float_of_int (List.length queries)) );
+            ] );
+        ("requests", Json.num (float_of_int requests));
+        ("clients", Json.num (float_of_int clients));
+        ("seconds", Json.num seconds);
+        ( "throughput_qps",
+          Json.num
+            (if seconds > 0. then
+               float_of_int (ok * List.length queries) /. seconds
+             else 0.) );
+        ( "latency_ms",
+          Json.Obj
+            [
+              ("mean", Json.num mean);
+              ("p50", Json.num (percentile latencies 50.));
+              ("p90", Json.num (percentile latencies 90.));
+              ("p95", Json.num (percentile latencies 95.));
+              ("p99", Json.num (percentile latencies 99.));
+              ( "max",
+                Json.num
+                  (if latencies = [||] then 0.
+                   else latencies.(Array.length latencies - 1)) );
+            ] );
+        ("ok", Json.num (float_of_int ok));
+        ("errors", Json.num (float_of_int errors));
+        ( "responses",
+          Json.Obj
+            [
+              ("hit", Json.num (float_of_int hits));
+              ("miss", Json.num (float_of_int misses));
+              ("coalesced", Json.num (float_of_int coalesced));
+            ] );
+        ( "amortization",
+          Json.Obj
+            [
+              ("session_hit_rate", Json.num hit_rate);
+              ("mixture_passes", Json.num mixture_passes);
+              ("naive_mixture_passes", Json.num naive_passes);
+            ] );
+        ("server", after);
+      ]
+  in
+  Printf.printf
+    "%d ok, %d errors in %.2fs: %.1f queries/s; p50 %.2fms p95 %.2fms p99 %.2fms\n"
+    ok errors seconds
+    (if seconds > 0. then float_of_int (ok * List.length queries) /. seconds
+     else 0.)
+    (percentile latencies 50.) (percentile latencies 95.)
+    (percentile latencies 99.);
+  Printf.printf
+    "sessions: %.0f%% hit rate (%g hits / %g misses); sweeps: %g vs %g naive\n%!"
+    (100. *. hit_rate) shits smisses mixture_passes naive_passes;
+  (match out with
+  | Some path ->
+      Obs.write_file_atomic path (Json.to_string report);
+      Printf.printf "wrote report to %s\n%!" path
+  | None -> ());
+  if shutdown then
+    ignore (Http.request ~host ~port ~meth:"POST" ~path:"/shutdown" ());
+  if errors > 0 then exit 1
+
+let host =
+  Arg.(value & opt (some string) None & info [ "host" ] ~docv:"ADDR"
+         ~doc:"Server address (default \\$(b,SERVER_HOST) or 127.0.0.1).")
+
+let port =
+  Arg.(value & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT"
+         ~doc:"Server port (default \\$(b,SERVER_PORT) or 8641).")
+
+let model =
+  Arg.(value & opt file "models/line1_ded.xml" & info [ "model" ] ~docv:"FILE"
+         ~doc:"Base Arcade XML model for the portfolio.")
+
+let variants =
+  Arg.(value & opt int 8 & info [ "variants" ] ~docv:"N"
+         ~doc:"Portfolio size: distinct mttf-scaled model variants.")
+
+let requests =
+  Arg.(value & opt int 200 & info [ "n"; "requests" ] ~docv:"N"
+         ~doc:"Total /analyze requests across all clients.")
+
+let clients =
+  Arg.(value & opt int 4 & info [ "c"; "clients" ] ~docv:"N"
+         ~doc:"Concurrent client connections.")
+
+let lump =
+  Arg.(value & flag & info [ "lump" ]
+         ~doc:"Request lumping-quotient evaluation.")
+
+let out =
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+         ~doc:"Write the JSON report here (atomically).")
+
+let shutdown =
+  Arg.(value & flag & info [ "shutdown" ]
+         ~doc:"POST /shutdown to the server when done.")
+
+let cmd =
+  let doc = "load generator for the Arcade analysis daemon" in
+  Cmd.v
+    (Cmd.info "arcade_load" ~doc)
+    Term.(
+      const load $ host $ port $ model $ variants $ requests $ clients $ lump
+      $ out $ shutdown)
+
+let () = exit (Cmd.eval cmd)

@@ -217,8 +217,25 @@ let scc_solve_order t states =
 
 let default_epsilon = 1e-12
 
+(* The weight and steady-state caches are keyed by floats under generic
+   equality, where [nan <> nan]: a NaN key could never hit and would
+   silently recompute on every call — the exact pathology a long-lived
+   session is meant to amortize. Reject non-finite (and non-positive
+   tolerance) inputs at the entry points instead. *)
+let validate_finite ~what x =
+  if not (Float.is_finite x) then
+    invalid_arg (Printf.sprintf "%s must be finite (got %h)" what x)
+
+let validate_positive ~what x =
+  if not (Float.is_finite x && x > 0.) then
+    invalid_arg (Printf.sprintf "%s must be finite and positive (got %h)" what x)
+
 let weights ?(epsilon = default_epsilon) t time =
+  validate_positive ~what:"Analysis.weights: epsilon" epsilon;
+  validate_finite ~what:"Analysis.weights: time" time;
   let lambda, _ = uniformized t in
+  validate_finite ~what:"Analysis.weights: uniformization rate * time"
+    (lambda *. time);
   let key = (lambda *. time, epsilon) in
   match Hashtbl.find_opt t.weight_tbl key with
   | Some w ->
@@ -233,6 +250,7 @@ let weights ?(epsilon = default_epsilon) t time =
       w
 
 let cached_steady t ~tol compute =
+  validate_positive ~what:"Analysis.cached_steady: tol" tol;
   match Hashtbl.find_opt t.steady_tbl tol with
   | Some pi ->
       t.counters.steady_hits <- t.counters.steady_hits + 1;
@@ -259,6 +277,11 @@ let fnv_int h i =
   let h = fnv_byte h (i lsr 8) in
   let h = fnv_byte h (i lsr 16) in
   fnv_byte h (i lsr 24)
+
+let fnv1a64 s =
+  let h = ref fnv_offset in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
 
 let pred_hash pred n =
   let h = ref fnv_offset in
@@ -477,8 +500,13 @@ let poisson_mixture_batch ?epsilon t ~dir batches =
           invalid_arg "Analysis.poisson_mixture_batch: dimension mismatch";
         List.iter
           (fun tm ->
-            if tm < 0. then
-              invalid_arg "Analysis.poisson_mixture_batch: negative time")
+            (* [not (tm >= 0.)] also catches NaN, which would otherwise
+               slip past every comparison and surface as a bare
+               [Not_found] when the results are assembled *)
+            if not (Float.is_finite tm) || tm < 0. then
+              invalid_arg
+                "Analysis.poisson_mixture_batch: times must be finite and \
+                 non-negative")
           b.times)
       batches;
     let barr = Array.of_list batches in

@@ -43,7 +43,11 @@ val embedded : t -> Numeric.Sparse.t
 val weights : ?epsilon:float -> t -> float -> Numeric.Fox_glynn.t
 (** [weights t time] is the Fox–Glynn weight vector for [lambda * time],
     memoized by [(lambda * time, epsilon)]. [epsilon] defaults to [1e-12]
-    (the {!Numeric.Fox_glynn.compute} default). *)
+    (the {!Numeric.Fox_glynn.compute} default). Raises [Invalid_argument]
+    on a non-finite [time] or product, or a non-finite / non-positive
+    [epsilon] — NaN keys can never hit a float-keyed cache (generic
+    equality has [nan <> nan]), so they are rejected at the entry point
+    instead of silently recomputing forever. *)
 
 val graph : t -> Numeric.Digraph.t
 (** The transition digraph, built once per session. *)
@@ -72,7 +76,15 @@ val cached_steady : t -> tol:float -> (unit -> Numeric.Vec.t) -> Numeric.Vec.t
     for tolerance [tol], running [compute] only on the first call. The
     result is a private copy; callers may mutate it freely. (The solver
     lives in {!Steady_state}, which sits above this module; the session
-    only owns the storage.) *)
+    only owns the storage.) Raises [Invalid_argument] on a non-finite or
+    non-positive [tol] (a NaN key would miss the float-keyed cache on
+    every call). *)
+
+val fnv1a64 : string -> int64
+(** 64-bit FNV-1a hash of a string — the same streaming hash the session
+    caches use for predicate bitmaps, exposed for content-addressing whole
+    inputs (e.g. the analysis daemon keys its model-session cache on the
+    hash of the XML source). *)
 
 val absorbed : ?name:string -> t -> pred:(int -> bool) -> t
 (** [absorbed t ~pred] is the sub-session for [Chain.absorbing chain ~pred]

@@ -11,12 +11,39 @@
    parallel curve driver, the inner level must not multiply the domain
    count. *)
 
-let default_domains () =
-  match Sys.getenv_opt "PAR_DOMAINS" with
+(* Malformed env knobs fail loudly: a typo like PAR_DOMAINS=O2 used to
+   silently fall back to the recommended domain count, changing a
+   benchmark's parallelism with no signal at all. Every numeric knob in
+   the tree (PAR_DOMAINS, the server's SERVER_* knobs) goes through
+   [getenv_positive_int], which warns once per variable on stderr and
+   then ignores the value. *)
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let warned_mutex = Mutex.create ()
+
+let getenv_positive_int name =
+  match Sys.getenv_opt name with
+  | None | Some "" -> None
   | Some v -> (
-      match int_of_string_opt v with
-      | Some n when n >= 1 -> n
-      | Some _ | None -> Domain.recommended_domain_count ())
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None ->
+          let first =
+            Mutex.protect warned_mutex (fun () ->
+                if Hashtbl.mem warned name then false
+                else begin
+                  Hashtbl.add warned name ();
+                  true
+                end)
+          in
+          if first then
+            Printf.eprintf
+              "warning: ignoring %s=%S: expected a positive integer\n%!" name v;
+          None)
+
+let default_domains () =
+  match getenv_positive_int "PAR_DOMAINS" with
+  | Some n -> n
   | None -> Domain.recommended_domain_count ()
 
 let in_worker = Domain.DLS.new_key (fun () -> false)
@@ -61,3 +88,120 @@ let map ?domains f xs =
   end
 
 let iter ?domains f xs = ignore (map ?domains (fun x -> f x) xs : unit list)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent domain pool                                             *)
+
+(* [map] spawns (and joins) fresh domains per call — fine for the
+   experiment drivers, wasteful for a server dispatching work every few
+   milliseconds. [Pool] keeps a fixed set of domains alive behind a
+   mutex/condition task queue; completion is signalled per [run] call, and
+   the mutex hand-offs establish the happens-before edges that make the
+   result array reads safe. Workers mark themselves with [in_worker], so
+   nested [map] (and nested [Pool.run]) degrade to sequential execution
+   instead of deadlocking on the pool's own queue. *)
+module Pool = struct
+  type t = {
+    size : int;
+    tasks : (unit -> unit) Queue.t;
+    m : Mutex.t;
+    nonempty : Condition.t;
+    mutable closed : bool;
+    mutable workers : unit Domain.t array;
+  }
+
+  let worker pool =
+    Domain.DLS.set in_worker true;
+    let rec loop () =
+      let task =
+        Mutex.protect pool.m (fun () ->
+            let rec next () =
+              if not (Queue.is_empty pool.tasks) then Some (Queue.pop pool.tasks)
+              else if pool.closed then None
+              else begin
+                Condition.wait pool.nonempty pool.m;
+                next ()
+              end
+            in
+            next ())
+      in
+      match task with
+      | None -> ()
+      | Some f ->
+          f ();
+          loop ()
+    in
+    loop ()
+
+  let create ?domains () =
+    let size =
+      match domains with Some d -> max 1 d | None -> default_domains ()
+    in
+    let pool =
+      {
+        size;
+        tasks = Queue.create ();
+        m = Mutex.create ();
+        nonempty = Condition.create ();
+        closed = false;
+        workers = [||];
+      }
+    in
+    pool.workers <- Array.init size (fun _ -> Domain.spawn (fun () -> worker pool));
+    pool
+
+  let size pool = pool.size
+
+  let map pool f xs =
+    if Mutex.protect pool.m (fun () -> pool.closed) then
+      invalid_arg "Parallel.Pool.map: pool is shut down";
+    match xs with
+    | [] -> []
+    | [ x ] -> [ f x ]
+    | xs when Domain.DLS.get in_worker -> List.map f xs
+    | xs ->
+        let input = Array.of_list xs in
+        let n = Array.length input in
+        let results = Array.make n None in
+        let failures = Array.make n None in
+        let remaining = ref n in
+        let dm = Mutex.create () in
+        let all_done = Condition.create () in
+        Mutex.protect pool.m (fun () ->
+            if pool.closed then
+              invalid_arg "Parallel.Pool.map: pool is shut down";
+            Array.iteri
+              (fun i x ->
+                Queue.add
+                  (fun () ->
+                    (match f x with
+                    | y -> results.(i) <- Some y
+                    | exception e -> failures.(i) <- Some e);
+                    Mutex.protect dm (fun () ->
+                        decr remaining;
+                        if !remaining = 0 then Condition.signal all_done))
+                  pool.tasks)
+              input;
+            Condition.broadcast pool.nonempty);
+        Mutex.protect dm (fun () ->
+            while !remaining > 0 do
+              Condition.wait all_done dm
+            done);
+        Array.iter (function Some e -> raise e | None -> ()) failures;
+        Array.to_list
+          (Array.map (function Some y -> y | None -> assert false) results)
+
+  let shutdown pool =
+    let workers =
+      Mutex.protect pool.m (fun () ->
+          if pool.closed then [||]
+          else begin
+            pool.closed <- true;
+            Condition.broadcast pool.nonempty;
+            let w = pool.workers in
+            pool.workers <- [||];
+            w
+          end)
+    in
+    Array.iter Domain.join workers
+end

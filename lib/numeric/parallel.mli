@@ -16,9 +16,19 @@
     Nested [map] calls from inside a worker run sequentially, so
     composing parallel drivers cannot multiply the domain count. *)
 
+val getenv_positive_int : string -> int option
+(** [getenv_positive_int name] parses the environment variable [name] as a
+    positive integer. Unset or empty yields [None]; a malformed or
+    non-positive value yields [None] {e loudly} — one warning per variable
+    on stderr — instead of silently changing behavior (a typo like
+    [PAR_DOMAINS=O2] used to alter parallelism with no signal). All
+    numeric env knobs ([PAR_DOMAINS], the server's [SERVER_*] family)
+    share this discipline. *)
+
 val default_domains : unit -> int
 (** The domain count used when [?domains] is not given: the [PAR_DOMAINS]
-    environment variable when set to a positive integer, otherwise
+    environment variable when set to a positive integer
+    ({!getenv_positive_int}), otherwise
     [Domain.recommended_domain_count ()]. [PAR_DOMAINS=1] forces fully
     sequential evaluation. *)
 
@@ -32,3 +42,36 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit
 (** [iter f xs] is [map] for side effects only. *)
+
+(** A persistent fixed-size domain pool.
+
+    {!map} spawns and joins fresh domains per call — fine for batch
+    drivers, wasteful for a long-lived server dispatching small groups of
+    work every few milliseconds. A [Pool.t] keeps its domains alive
+    behind a task queue; every {!Pool.map} hands its items to the pool
+    and blocks until all complete.
+
+    The same session-ownership rule as {!map} applies: work items must
+    not share mutable caches with concurrently running items. Calls from
+    inside any worker (pool or {!map}) run sequentially, so nesting never
+    deadlocks on the pool's own queue. *)
+module Pool : sig
+  type t
+
+  val create : ?domains:int -> unit -> t
+  (** Spawn the worker domains ([domains] defaults to
+      {!default_domains}; values [< 1] are clamped to [1]). *)
+
+  val size : t -> int
+
+  val map : t -> ('a -> 'b) -> 'a list -> 'b list
+  (** [map pool f xs] computes [List.map f xs] with the applications
+      distributed over the pool's domains, preserving order. If any
+      application raises, all items still run to completion and one of
+      the raised exceptions is re-raised. Raises [Invalid_argument] on a
+      shut-down pool. *)
+
+  val shutdown : t -> unit
+  (** Finish queued work, stop and join every worker. Idempotent;
+      subsequent {!map} calls raise. *)
+end

@@ -37,13 +37,29 @@ let json_attr = function
   | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
   | Bool b -> string_of_bool b
 
+(* Each writer gets its own temp name (pid + per-process sequence), so
+   concurrent flushes to the same path — two domains, or two processes —
+   never clobber each other's temp file; whichever rename lands last
+   wins, and both leave a complete file. On any failure the temp file is
+   unlinked before the exception propagates. *)
+let tmp_counter = Atomic.make 0
+
 let write_file_atomic path contents =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents);
-  Sys.rename tmp path
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  match
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc contents);
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
 
 (* ------------------------------------------------------------------ *)
 (* Metrics registry                                                   *)

@@ -31,6 +31,15 @@ val monotonic_ns : unit -> int64
 (** Raw monotonic clock (CLOCK_MONOTONIC), nanoseconds from an arbitrary
     origin. Exposed for callers that time things themselves. *)
 
+val write_file_atomic : string -> string -> unit
+(** [write_file_atomic path contents] writes [contents] to a uniquely
+    named temp file next to [path] (pid + sequence number, so concurrent
+    writers — domains or processes — cannot collide) and renames it over
+    [path]: readers never observe a truncated file. On failure the temp
+    file is unlinked and the exception re-raised. Used for every JSON
+    artifact the tree emits (traces, metrics, bench timings, load
+    reports). *)
+
 val init : unit -> unit
 (** Read the [OBS_*] environment and arm the at-exit hooks. Idempotent.
 

@@ -1,0 +1,38 @@
+(** A minimal JSON value type, parser and printer.
+
+    The dependency set has no JSON library; the server's wire format (and
+    the load generator's reports) need one. Covers all of RFC 8259 except
+    [\uXXXX] surrogate pairs (non-BMP escapes decode to U+FFFD); numbers
+    are IEEE doubles. NaN and infinities print as [null], matching the
+    convention of [Obs]'s emitters. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!parse} with a message carrying the byte offset. *)
+
+val parse : string -> t
+(** Parse one JSON document; trailing non-whitespace is an error. *)
+
+val to_string : t -> string
+(** Compact single-line serialization. Object member order is preserved. *)
+
+val member : string -> t -> t option
+(** [member key json] is the value of [key] when [json] is an [Obj]
+    containing it. *)
+
+val string_field : string -> t -> string option
+
+val list_field : string -> t -> t list option
+
+val bool_field : ?default:bool -> string -> t -> bool option
+(** [None] when present but not a boolean; [Some default] when absent. *)
+
+val num : float -> t
+(** [Num], with non-finite values preserved (they serialize as [null]). *)

@@ -1,0 +1,868 @@
+module Json = Json
+module Http = Http
+module Ast = Csl.Ast
+module Parallel = Numeric.Parallel
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                      *)
+
+type config = {
+  host : string;
+  port : int;
+  domains : int;
+  batch_window_ms : int;
+  max_sessions : int;
+  lump : bool;
+}
+
+let default_config () =
+  let geti name d = Option.value (Parallel.getenv_positive_int name) ~default:d in
+  {
+    host = Option.value (Sys.getenv_opt "SERVER_HOST") ~default:"127.0.0.1";
+    port = geti "SERVER_PORT" 8641;
+    domains = geti "SERVER_DOMAINS" (min 4 (Parallel.default_domains ()));
+    batch_window_ms = geti "SERVER_BATCH_WINDOW_MS" 5;
+    max_sessions = geti "SERVER_MAX_SESSIONS" 256;
+    lump =
+      (match Sys.getenv_opt "LUMP" with
+      | Some ("1" | "true" | "yes") -> true
+      | Some _ | None -> false);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Counters: always-on atomics for /stats, mirrored into the Obs
+   registry (the mirror is flag-gated inside Obs)                     *)
+
+type counter = { v : int Atomic.t; m : Obs.Metrics.counter }
+
+let make_counter name = { v = Atomic.make 0; m = Obs.Metrics.counter name }
+
+let bump ?(n = 1) c =
+  ignore (Atomic.fetch_and_add c.v n : int);
+  Obs.Metrics.add c.m n
+
+let cval c = Atomic.get c.v
+
+type counters = {
+  requests : counter;  (** POST /analyze admitted past validation *)
+  queries : counter;
+  rejected : counter;  (** 4xx answers *)
+  query_errors : counter;  (** per-query evaluation failures *)
+  session_hits : counter;
+  session_misses : counter;  (** session builds *)
+  session_evictions : counter;
+  batch_windows : counter;  (** scheduler ticks that dispatched work *)
+  coalesced : counter;  (** same-model jobs beyond the first per window *)
+  batch_groups : counter;  (** shared curve/batch sweeps executed *)
+  batched_queries : counter;  (** queries answered by a shared sweep *)
+}
+
+let make_counters () =
+  {
+    requests = make_counter "server.requests";
+    queries = make_counter "server.queries";
+    rejected = make_counter "server.rejected";
+    query_errors = make_counter "server.query_errors";
+    session_hits = make_counter "server.session_hits";
+    session_misses = make_counter "server.session_misses";
+    session_evictions = make_counter "server.session_evictions";
+    batch_windows = make_counter "server.batch_windows";
+    coalesced = make_counter "server.coalesced";
+    batch_groups = make_counter "server.batch_groups";
+    batched_queries = make_counter "server.batched_queries";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                           *)
+
+type session = {
+  s_src : string;
+  s_lump : bool;
+  measures : Core.Measures.t;
+  mutable last_used : int;  (** logical clock for LRU eviction *)
+}
+
+type job = {
+  j_src : string;
+  j_lump : bool;
+  j_hash : int64;
+  j_queries : (string * Ast.state_formula) list;
+  jm : Mutex.t;
+  jc : Condition.t;
+  mutable j_result : (int * Json.t) option;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  pool : Parallel.Pool.t;
+  queue : job Queue.t;
+  qm : Mutex.t;
+  qc : Condition.t;
+  mutable running : bool;  (** guarded by [qm] *)
+  cache : (int64, session list) Hashtbl.t;
+  mutable cache_count : int;
+  mutable clock : int;
+  cm : Mutex.t;
+  c : counters;
+  mutable accept_thread : Thread.t option;
+  mutable sched_thread : Thread.t option;
+}
+
+let port t = t.bound_port
+
+let model_hash ~src ~lump =
+  Ctmc.Analysis.fnv1a64 (if lump then src ^ "\x00lump" else src)
+
+let build_session ~src ~lump =
+  let xml, locator = Xml_kit.parse_string_located src in
+  let model, _embedded_measures = Core.Xml_io.of_xml ~pos:locator xml in
+  let measures = Core.Measures.analyze ~lump model in
+  { s_src = src; s_lump = lump; measures; last_used = 0 }
+
+let touch srv s =
+  srv.clock <- srv.clock + 1;
+  s.last_used <- srv.clock
+
+(* LRU eviction under [cm]: the cache is capacity-bounded, a portfolio
+   larger than [max_sessions] keeps its hottest models resident. *)
+let evict_over_capacity srv =
+  while srv.cache_count > srv.cfg.max_sessions do
+    let victim =
+      Hashtbl.fold
+        (fun key sessions acc ->
+          List.fold_left
+            (fun acc s ->
+              match acc with
+              | Some (_, best) when best.last_used <= s.last_used -> acc
+              | _ -> Some (key, s))
+            acc sessions)
+        srv.cache None
+    in
+    match victim with
+    | None -> srv.cache_count <- 0
+    | Some (key, s) ->
+        let rest =
+          List.filter (fun s' -> s' != s) (Hashtbl.find srv.cache key)
+        in
+        if rest = [] then Hashtbl.remove srv.cache key
+        else Hashtbl.replace srv.cache key rest;
+        srv.cache_count <- srv.cache_count - 1;
+        bump srv.c.session_evictions
+  done
+
+(* Returns [(session, was_cached)]. Building happens outside the cache
+   lock: the scheduler processes windows sequentially and groups within
+   a window have distinct hashes, so no two builders race on one key. *)
+let get_session srv ~src ~lump =
+  let h = model_hash ~src ~lump in
+  let lookup () =
+    Mutex.protect srv.cm (fun () ->
+        match Hashtbl.find_opt srv.cache h with
+        | None -> None
+        | Some sessions -> (
+            match
+              List.find_opt
+                (fun s -> s.s_lump = lump && String.equal s.s_src src)
+                sessions
+            with
+            | Some s ->
+                touch srv s;
+                Some s
+            | None -> None))
+  in
+  match lookup () with
+  | Some s -> (s, true)
+  | None ->
+      let s = build_session ~src ~lump in
+      Mutex.protect srv.cm (fun () ->
+          let bucket =
+            match Hashtbl.find_opt srv.cache h with Some l -> l | None -> []
+          in
+          Hashtbl.replace srv.cache h (s :: bucket);
+          srv.cache_count <- srv.cache_count + 1;
+          touch srv s;
+          evict_over_capacity srv);
+      (s, false)
+
+(* ------------------------------------------------------------------ *)
+(* Query evaluation with same-model batching                          *)
+
+(* a query slot: where one query's answer goes (job-order preserving) *)
+type slot = {
+  answers : Json.t option array;
+  idx : int;
+  text : string;
+  ast : Ast.state_formula;
+}
+
+let ok_value text v = Json.Obj [ ("query", Str text); ("value", Json.num v) ]
+
+let ok_bool text b = Json.Obj [ ("query", Str text); ("satisfied", Bool b) ]
+
+let err_result srv text msg =
+  bump srv.c.query_errors;
+  Json.Obj [ ("query", Str text); ("error", Str msg) ]
+
+let error_message = function
+  | Csl.Checker.Unsupported msg -> msg
+  | Invalid_argument msg | Failure msg -> msg
+  | e -> Printexc.to_string e
+
+(* A state formula evaluable per-state without touching P/S/R — exactly
+   the operand shape [Checker.satisfaction] resolves cheaply and the
+   batch curves can absorb. *)
+let rec pure_formula = function
+  | Ast.True | Ast.False | Ast.Label _ | Ast.Atomic _ -> true
+  | Ast.Not f -> pure_formula f
+  | Ast.And (a, b) | Ast.Or (a, b) | Ast.Implies (a, b) ->
+      pure_formula a && pure_formula b
+  | Ast.P _ | Ast.S _ | Ast.R _ -> false
+
+type plan_key =
+  | K_until of string  (** [to_string phi ^ " U " ^ to_string psi] *)
+  | K_reward of string option  (** reward-structure name *)
+
+type reward_kind = Inst | Cumul
+
+(* What a slot contributes to its batch group. *)
+type contribution =
+  | C_until of Ast.state_formula * Ast.state_formula * float
+  | C_reward of reward_kind * float
+
+let classify ast =
+  match ast with
+  | Ast.P (Ast.Query, Ast.Until (phi, Ast.Upto t, psi))
+    when pure_formula phi && pure_formula psi ->
+      Some (K_until (Ast.to_string phi ^ " U " ^ Ast.to_string psi),
+            C_until (phi, psi, t))
+  | Ast.P (Ast.Query, Ast.Eventually (Ast.Upto t, psi)) when pure_formula psi
+    ->
+      Some (K_until ("true U " ^ Ast.to_string psi),
+            C_until (Ast.True, psi, t))
+  | Ast.R (name, Ast.Query, Ast.Instantaneous t) ->
+      Some (K_reward name, C_reward (Inst, t))
+  | Ast.R (name, Ast.Query, Ast.Cumulative t) ->
+      Some (K_reward name, C_reward (Cumul, t))
+  | _ -> None
+
+let pred_of csl f =
+  let sat = Csl.Checker.satisfaction csl f in
+  fun s -> sat.(s)
+
+(* One group of batchable slots -> one uniformization sweep. *)
+let eval_group srv session key (slots : (slot * contribution) list) =
+  let m = session.measures in
+  let analysis = Core.Measures.analysis m in
+  let csl = Core.Measures.to_csl_model m in
+  let chain = (Core.Measures.built m).Core.Semantics.chain in
+  let lump = session.s_lump in
+  let fill_errors msg =
+    List.iter
+      (fun (slot, _) -> slot.answers.(slot.idx) <- Some (err_result srv slot.text msg))
+      slots
+  in
+  match key with
+  | K_until _ -> (
+      match
+        let phi, psi =
+          match slots with
+          | (_, C_until (phi, psi, _)) :: _ -> (phi, psi)
+          | _ -> assert false
+        in
+        let bounds =
+          List.map
+            (function _, C_until (_, _, t) -> t | _ -> assert false)
+            slots
+        in
+        let phi_p = pred_of csl phi and psi_p = pred_of csl psi in
+        Ctmc.Reachability.bounded_until_curve ~lump ~analysis chain ~phi:phi_p
+          ~psi:psi_p ~bounds
+      with
+      | points ->
+          List.iter2
+            (fun (slot, _) (_, v) ->
+              slot.answers.(slot.idx) <- Some (ok_value slot.text v))
+            slots points
+      | exception e -> fill_errors (error_message e))
+  | K_reward name -> (
+      match (csl.Csl.Checker.reward name : Numeric.Vec.t option) with
+      | None ->
+          fill_errors
+            (Printf.sprintf "unknown reward structure %s"
+               (match name with Some n -> "\"" ^ n ^ "\"" | None -> "(default)"))
+      | Some reward -> (
+          let inst, cumul =
+            List.partition
+              (function _, C_reward (Inst, _) -> true | _ -> false)
+              slots
+          in
+          let time_of = function
+            | _, C_reward (_, t) -> t
+            | _ -> assert false
+          in
+          let inst_ts = List.map time_of inst
+          and cumul_ts = List.map time_of cumul in
+          match
+            (* both operators on one reward ride a single blocked sweep;
+               a single-kind group still shares one pass over its times *)
+            if inst <> [] && cumul <> [] then
+              let ic, cc =
+                Ctmc.Rewards.both_curves ~lump ~analysis chain ~reward
+                  ~times:(inst_ts @ cumul_ts)
+              in
+              let take n l = List.filteri (fun i _ -> i < n) l in
+              let drop n l = List.filteri (fun i _ -> i >= n) l in
+              (take (List.length inst) ic, drop (List.length inst) cc)
+            else if inst <> [] then
+              ( Ctmc.Rewards.instantaneous_curve ~lump ~analysis chain ~reward
+                  ~times:inst_ts,
+                [] )
+            else
+              ( [],
+                Ctmc.Rewards.accumulated_curve ~lump ~analysis chain ~reward
+                  ~times:cumul_ts )
+          with
+          | inst_points, cumul_points ->
+              List.iter2
+                (fun (slot, _) (_, v) ->
+                  slot.answers.(slot.idx) <- Some (ok_value slot.text v))
+                inst inst_points;
+              List.iter2
+                (fun (slot, _) (_, v) ->
+                  slot.answers.(slot.idx) <- Some (ok_value slot.text v))
+                cumul cumul_points
+          | exception e -> fill_errors (error_message e)))
+
+let eval_single srv session slot =
+  let csl = Core.Measures.to_csl_model session.measures in
+  let answer =
+    match Csl.Checker.check csl slot.ast with
+    | Csl.Checker.Value v -> ok_value slot.text v
+    | Csl.Checker.Satisfied b -> ok_bool slot.text b
+    | exception e -> err_result srv slot.text (error_message e)
+  in
+  slot.answers.(slot.idx) <- Some answer
+
+(* Evaluate every query of every job in a same-model group: batchable
+   queries are grouped by plan key and each group costs one sweep. *)
+let eval_jobs srv session jobs_with_answers =
+  let slots =
+    List.concat_map
+      (fun (job, answers) ->
+        List.mapi
+          (fun idx (text, ast) -> { answers; idx; text; ast })
+          job.j_queries)
+      jobs_with_answers
+  in
+  let groups : (plan_key, (slot * contribution) list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let group_order = ref [] in
+  let singles = ref [] in
+  List.iter
+    (fun slot ->
+      match classify slot.ast with
+      | Some (key, contrib) ->
+          (match Hashtbl.find_opt groups key with
+          | Some existing -> Hashtbl.replace groups key ((slot, contrib) :: existing)
+          | None ->
+              Hashtbl.add groups key [ (slot, contrib) ];
+              group_order := key :: !group_order)
+      | None -> singles := slot :: !singles)
+    slots;
+  List.iter
+    (fun key ->
+      let group = List.rev (Hashtbl.find groups key) in
+      bump srv.c.batch_groups;
+      bump ~n:(List.length group) srv.c.batched_queries;
+      eval_group srv session key group)
+    (List.rev !group_order);
+  List.iter (eval_single srv session) (List.rev !singles)
+
+(* ------------------------------------------------------------------ *)
+(* Jobs and the batching scheduler                                    *)
+
+let finish_job job status body =
+  Mutex.protect job.jm (fun () ->
+      job.j_result <- Some (status, body);
+      Condition.signal job.jc)
+
+let await_job job =
+  Mutex.protect job.jm (fun () ->
+      while Option.is_none job.j_result do
+        Condition.wait job.jc job.jm
+      done;
+      Option.get job.j_result)
+
+let hash_hex h = Printf.sprintf "%016Lx" h
+
+let process_group srv jobs =
+  let j0 = List.hd jobs in
+  let coalesced = List.length jobs in
+  match get_session srv ~src:j0.j_src ~lump:j0.j_lump with
+  | exception e ->
+      let msg =
+        match e with
+        | Core.Xml_io.Schema_error m -> m
+        | Xml_kit.Parse_error { line; column; message } ->
+            Printf.sprintf "%d:%d: %s" line column message
+        | Invalid_argument m | Failure m -> m
+        | e -> Printexc.to_string e
+      in
+      bump ~n:coalesced srv.c.rejected;
+      List.iter
+        (fun job ->
+          finish_job job 422
+            (Json.Obj
+               [
+                 ("error", Str ("model rejected: " ^ msg));
+                 ("model_hash", Str (hash_hex job.j_hash));
+               ]))
+        jobs
+  | session, was_cached ->
+      if was_cached then bump ~n:coalesced srv.c.session_hits
+      else begin
+        bump srv.c.session_misses;
+        if coalesced > 1 then bump ~n:(coalesced - 1) srv.c.session_hits
+      end;
+      let jobs_with_answers =
+        List.map (fun j -> (j, Array.make (List.length j.j_queries) None)) jobs
+      in
+      (try eval_jobs srv session jobs_with_answers
+       with e ->
+         (* defensive: eval paths catch per-group, but never drop a job *)
+         let msg = error_message e in
+         List.iter
+           (fun (job, answers) ->
+             Array.iteri
+               (fun i a ->
+                 if Option.is_none a then
+                   answers.(i) <-
+                     Some
+                       (err_result srv
+                          (fst (List.nth job.j_queries i))
+                          msg))
+               answers)
+           jobs_with_answers);
+      let states =
+        Ctmc.Chain.states
+          (Core.Measures.built session.measures).Core.Semantics.chain
+      in
+      List.iteri
+        (fun i (job, answers) ->
+          let session_tag =
+            if was_cached then "hit" else if i = 0 then "miss" else "coalesced"
+          in
+          let results =
+            Array.to_list
+              (Array.map
+                 (function
+                   | Some a -> a
+                   | None -> Json.Obj [ ("error", Json.Str "internal: unanswered query") ])
+                 answers)
+          in
+          finish_job job 200
+            (Json.Obj
+               [
+                 ("model_hash", Str (hash_hex job.j_hash));
+                 ("session", Str session_tag);
+                 ("states", Json.num (float_of_int states));
+                 ("coalesced", Json.num (float_of_int coalesced));
+                 ("results", List results);
+               ]))
+        jobs_with_answers
+
+(* group by model content (hash + source verify + lump), preserving
+   arrival order of groups and of jobs within a group *)
+let group_jobs jobs =
+  let tbl : (string * bool, job list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun j ->
+      let k = (j.j_src, j.j_lump) in
+      match Hashtbl.find_opt tbl k with
+      | Some l -> l := j :: !l
+      | None ->
+          let l = ref [ j ] in
+          Hashtbl.add tbl k l;
+          order := k :: !order)
+    jobs;
+  List.rev_map (fun k -> List.rev !(Hashtbl.find tbl k)) !order
+
+let scheduler srv =
+  let rec loop () =
+    let more =
+      Mutex.protect srv.qm (fun () ->
+          while Queue.is_empty srv.queue && srv.running do
+            Condition.wait srv.qc srv.qm
+          done;
+          not (Queue.is_empty srv.queue) || srv.running)
+    in
+    if more then begin
+      (* the admission window: let same-model requests pile up so they
+         coalesce into one sweep *)
+      if srv.cfg.batch_window_ms > 0 then
+        Thread.delay (float_of_int srv.cfg.batch_window_ms /. 1000.);
+      let batch =
+        Mutex.protect srv.qm (fun () ->
+            let l = List.of_seq (Queue.to_seq srv.queue) in
+            Queue.clear srv.queue;
+            l)
+      in
+      if batch <> [] then begin
+        bump srv.c.batch_windows;
+        let groups = group_jobs batch in
+        bump ~n:(List.length batch - List.length groups) srv.c.coalesced;
+        match groups with
+        | [ g ] -> process_group srv g
+        | gs ->
+            (* distinct models fan out across the fixed domain pool *)
+            ignore (Parallel.Pool.map srv.pool (process_group srv) gs : unit list)
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                   *)
+
+let json_response ?(keep_alive = true) fd ~status json =
+  Http.write_response ~keep_alive fd ~status ~body:(Json.to_string json)
+
+let diagnostics_json diags =
+  Json.List
+    (List.map
+       (fun (d : Lint.Diagnostic.t) ->
+         Json.Obj
+           (List.concat
+              [
+                [
+                  ("code", Json.Str d.code);
+                  ( "severity",
+                    Json.Str (Lint.Diagnostic.severity_to_string d.severity) );
+                  ("subject", Json.Str d.subject);
+                  ("message", Json.Str d.message);
+                ];
+                (match d.hint with
+                | Some h -> [ ("hint", Json.Str h) ]
+                | None -> []);
+                (match (d.line, d.column) with
+                | Some l, Some c ->
+                    [ ("line", Json.num (float_of_int l));
+                      ("column", Json.num (float_of_int c)) ]
+                | _ -> []);
+              ]))
+       diags)
+
+let stats_json srv =
+  let a name =
+    ( name,
+      Json.num
+        (float_of_int
+           (Obs.Metrics.counter_value (Obs.Metrics.counter ("analysis." ^ name))))
+    )
+  in
+  let sc name c = (name, Json.num (float_of_int (cval c))) in
+  let hits = cval srv.c.session_hits and misses = cval srv.c.session_misses in
+  let live = Mutex.protect srv.cm (fun () -> srv.cache_count) in
+  Json.Obj
+    [
+      ( "server",
+        Json.Obj
+          [
+            sc "requests" srv.c.requests;
+            sc "queries" srv.c.queries;
+            sc "rejected" srv.c.rejected;
+            sc "query_errors" srv.c.query_errors;
+            sc "batch_windows" srv.c.batch_windows;
+            sc "coalesced" srv.c.coalesced;
+            sc "batch_groups" srv.c.batch_groups;
+            sc "batched_queries" srv.c.batched_queries;
+          ] );
+      ( "sessions",
+        Json.Obj
+          [
+            ("live", Json.num (float_of_int live));
+            ("capacity", Json.num (float_of_int srv.cfg.max_sessions));
+            sc "hits" srv.c.session_hits;
+            sc "misses" srv.c.session_misses;
+            sc "evictions" srv.c.session_evictions;
+            ( "hit_rate",
+              Json.num
+                (if hits + misses = 0 then 0.
+                 else float_of_int hits /. float_of_int (hits + misses)) );
+          ] );
+      ( "analysis",
+        Json.Obj
+          [
+            a "mixture_passes";
+            a "mixture_steps";
+            a "batch_passes";
+            a "batch_columns";
+            a "weight_computes";
+            a "weight_hits";
+            a "uniformized_builds";
+            a "uniformized_hits";
+            a "steady_solves";
+            a "steady_hits";
+            a "absorbed_builds";
+            a "absorbed_hits";
+            a "lump_builds";
+            a "lump_hits";
+          ] );
+    ]
+
+(* Admission: JSON decode, lint pre-flight, query parse — all before any
+   state-space work; failures answer 4xx with positioned diagnostics. *)
+let handle_analyze srv fd req ~keep_alive =
+  let reject status json =
+    bump srv.c.rejected;
+    json_response ~keep_alive fd ~status json
+  in
+  match Json.parse req.Http.body with
+  | exception Json.Parse_error msg ->
+      reject 400 (Json.Obj [ ("error", Str ("invalid JSON: " ^ msg)) ])
+  | body -> (
+      let model = Json.string_field "model" body in
+      let queries =
+        match Json.list_field "queries" body with
+        | Some items ->
+            List.fold_right
+              (fun item acc ->
+                match (item, acc) with
+                | Json.Str q, Some qs -> Some (q :: qs)
+                | _ -> None)
+              items (Some [])
+        | None -> (
+            match Json.member "queries" body with
+            | None -> Some []  (* omitted: just warm the session *)
+            | Some _ -> None)
+      in
+      let lump = Json.bool_field ~default:srv.cfg.lump "lump" body in
+      match (model, queries, lump) with
+      | None, _, _ ->
+          reject 400
+            (Json.Obj [ ("error", Str "missing string field \"model\"") ])
+      | _, None, _ ->
+          reject 400
+            (Json.Obj
+               [ ("error", Str "\"queries\" must be an array of strings") ])
+      | _, _, None ->
+          reject 400 (Json.Obj [ ("error", Str "\"lump\" must be a boolean") ])
+      | Some src, Some queries, Some lump -> (
+          let diags = Lint.lint_string src in
+          if Lint.has_errors diags then
+            reject 422
+              (Json.Obj
+                 [
+                   ("error", Str "lint rejected the model");
+                   ("diagnostics", diagnostics_json diags);
+                 ])
+          else
+            let parsed =
+              List.mapi
+                (fun i q ->
+                  match Csl.Parser.parse q with
+                  | ast -> Ok (q, ast)
+                  | exception Csl.Parser.Syntax_error
+                      { line; column; message; _ } ->
+                      Error (i, q, line, column, message))
+                queries
+            in
+            match
+              List.find_opt (function Error _ -> true | Ok _ -> false) parsed
+            with
+            | Some (Error (i, q, line, column, message)) ->
+                reject 400
+                  (Json.Obj
+                     [
+                       ("error", Str "query syntax error");
+                       ("query_index", Json.num (float_of_int i));
+                       ("query", Str q);
+                       ("line", Json.num (float_of_int line));
+                       ("column", Json.num (float_of_int column));
+                       ("message", Str message);
+                     ])
+            | _ -> (
+                let j_queries =
+                  List.map (function Ok qa -> qa | Error _ -> assert false) parsed
+                in
+                let job =
+                  {
+                    j_src = src;
+                    j_lump = lump;
+                    j_hash = model_hash ~src ~lump;
+                    j_queries;
+                    jm = Mutex.create ();
+                    jc = Condition.create ();
+                    j_result = None;
+                  }
+                in
+                let admitted =
+                  Mutex.protect srv.qm (fun () ->
+                      if srv.running then begin
+                        Queue.add job srv.queue;
+                        Condition.signal srv.qc;
+                        true
+                      end
+                      else false)
+                in
+                if not admitted then
+                  json_response ~keep_alive fd ~status:503
+                    (Json.Obj [ ("error", Str "server is shutting down") ])
+                else begin
+                  bump srv.c.requests;
+                  bump ~n:(List.length j_queries) srv.c.queries;
+                  let status, body = await_job job in
+                  json_response ~keep_alive fd ~status body
+                end)))
+
+let rec initiate_stop srv =
+  let was_running =
+    Mutex.protect srv.qm (fun () ->
+        if srv.running then begin
+          srv.running <- false;
+          Condition.broadcast srv.qc;
+          true
+        end
+        else false)
+  in
+  if was_running then
+    (* wake the accept loop with a throw-away connection; it re-checks
+       [running] after every accept and exits *)
+    try
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.connect fd
+           (Unix.ADDR_INET (Unix.inet_addr_loopback, srv.bound_port))
+       with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    with Unix.Unix_error _ -> ()
+
+and handle_request srv fd req =
+  let keep_alive = not (Http.wants_close req) in
+  match (req.Http.meth, req.Http.path) with
+  | "GET", "/health" ->
+      json_response ~keep_alive fd ~status:200
+        (Json.Obj [ ("status", Str "ok") ]);
+      keep_alive
+  | "GET", "/stats" ->
+      json_response ~keep_alive fd ~status:200 (stats_json srv);
+      keep_alive
+  | "GET", "/metrics" ->
+      Http.write_response ~keep_alive fd ~status:200
+        ~body:(Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
+      keep_alive
+  | "POST", "/shutdown" ->
+      json_response ~keep_alive:false fd ~status:200
+        (Json.Obj [ ("status", Str "shutting down") ]);
+      initiate_stop srv;
+      false
+  | "POST", "/analyze" ->
+      handle_analyze srv fd req ~keep_alive;
+      keep_alive
+  | _, path ->
+      bump srv.c.rejected;
+      json_response ~keep_alive fd ~status:404
+        (Json.Obj [ ("error", Str ("no such endpoint: " ^ path)) ]);
+      keep_alive
+
+let handle_conn srv fd =
+  let c = Http.conn fd in
+  (try
+     let rec serve () =
+       match Http.read_request c with
+       | None -> ()
+       | Some req -> if handle_request srv fd req then serve ()
+     in
+     serve ()
+   with
+  | Http.Bad_request msg -> (
+      bump srv.c.rejected;
+      try
+        json_response ~keep_alive:false fd ~status:400
+          (Json.Obj [ ("error", Str msg) ])
+      with Unix.Unix_error _ | Sys_error _ -> ())
+  | Unix.Unix_error _ | End_of_file | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop srv =
+  let rec loop () =
+    match Unix.accept srv.listen_fd with
+    | fd, _ ->
+        let keep_going = Mutex.protect srv.qm (fun () -> srv.running) in
+        if keep_going then begin
+          ignore (Thread.create (handle_conn srv) fd : Thread.t);
+          loop ()
+        end
+        else begin
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EAGAIN), _, _) ->
+        loop ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ();
+  try Unix.close srv.listen_fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                          *)
+
+let start ?(config = default_config ()) () =
+  (* a client hanging up mid-response must surface as EPIPE on the
+     handler thread, not kill the process *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Obs.Metrics.set_enabled true;
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen fd 128
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let srv =
+    {
+      cfg = config;
+      listen_fd = fd;
+      bound_port;
+      pool = Parallel.Pool.create ~domains:config.domains ();
+      queue = Queue.create ();
+      qm = Mutex.create ();
+      qc = Condition.create ();
+      running = true;
+      cache = Hashtbl.create 64;
+      cache_count = 0;
+      clock = 0;
+      cm = Mutex.create ();
+      c = make_counters ();
+      accept_thread = None;
+      sched_thread = None;
+    }
+  in
+  srv.sched_thread <- Some (Thread.create scheduler srv);
+  srv.accept_thread <- Some (Thread.create accept_loop srv);
+  srv
+
+let wait srv =
+  Option.iter Thread.join srv.sched_thread;
+  Option.iter Thread.join srv.accept_thread;
+  Parallel.Pool.shutdown srv.pool
+
+let stop srv =
+  initiate_stop srv;
+  wait srv
+
+let run ?config () =
+  let srv = start ?config () in
+  wait srv

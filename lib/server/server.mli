@@ -1,0 +1,83 @@
+(** Arcade-as-a-service: a persistent analysis daemon.
+
+    A hand-rolled HTTP/1.1 + JSON server (over [Unix], no new
+    dependencies — {!Http} / {!Json} play the role [Xml_kit] plays for
+    XML) that accepts Arcade XML models with CSL/CSRL queries and
+    answers them from long-lived {!Ctmc.Analysis} sessions:
+
+    - {b Model-hash session cache}: sessions are keyed by an FNV-1a
+      content hash of the model source ({!Ctmc.Analysis.fnv1a64}), so
+      repeated requests for the same model share its uniformized matrix,
+      Fox–Glynn weights, absorbed chains, quotients and steady-state
+      vector instead of rebuilding the state space per request. A
+      capacity-bounded LRU keeps the portfolio's working set resident.
+    - {b Admission control}: every model is linted ({!Lint}) and every
+      query parsed ({!Csl.Parser}) {e before} any state-space work;
+      malformed requests get 4xx answers with positioned diagnostics
+      instead of mid-solve exceptions or dropped connections.
+    - {b Same-model query batching}: requests arriving within the batch
+      window are grouped by model hash; within a group, time-bounded
+      until queries with identical operands ride one
+      {!Ctmc.Reachability.bounded_until_curve} sweep, and
+      instantaneous + cumulative reward queries on one reward structure
+      ride one blocked {!Ctmc.Rewards.both_curves} pass — N coalesced
+      requests cost one uniformization sweep, not N.
+    - {b Model fan-out}: distinct models in a window are dispatched
+      across a fixed {!Numeric.Parallel.Pool} of domains.
+
+    {2 Wire protocol}
+
+    [POST /analyze] with body
+    [{"model": "<arcade xml>", "queries": ["S=? [...]", ...],
+      "lump": false}]
+    answers
+    [{"model_hash": "…", "session": "hit"|"miss"|"coalesced",
+      "states": n, "coalesced": k, "results": [{"query": …, "value": v}
+      | {"query": …, "satisfied": b} | {"query": …, "error": m}, …]}].
+
+    [GET /health], [GET /stats], [GET /metrics] (the {!Obs.Metrics}
+    snapshot) and [POST /shutdown] complete the surface. See DESIGN §13
+    for the full protocol. *)
+
+module Json = Json
+module Http = Http
+
+type config = {
+  host : string;  (** dotted-quad bind address, default ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port (see {!port}) *)
+  domains : int;  (** worker-pool size for distinct-model fan-out *)
+  batch_window_ms : int;
+      (** how long the scheduler lets same-model requests pile up before
+          dispatching a batch; [0] dispatches immediately *)
+  max_sessions : int;  (** LRU capacity of the session cache *)
+  lump : bool;  (** default for requests that do not set ["lump"] *)
+}
+
+val default_config : unit -> config
+(** Defaults, overridable through the environment ([SERVER_HOST],
+    [SERVER_PORT], [SERVER_DOMAINS], [SERVER_BATCH_WINDOW_MS],
+    [SERVER_MAX_SESSIONS], [LUMP=1]). Numeric knobs go through
+    {!Numeric.Parallel.getenv_positive_int}: malformed values warn on
+    stderr and fall back, they never silently change behavior. *)
+
+type t
+(** A running server (accept loop, scheduler and worker pool). *)
+
+val start : ?config:config -> unit -> t
+(** Bind, spawn the accept and scheduler threads and return. Enables
+    {!Obs.Metrics} recording (a server's stats endpoint is part of its
+    contract). Raises [Unix.Unix_error] if the address cannot be
+    bound. *)
+
+val port : t -> int
+(** The actually bound port — useful with [config.port = 0]. *)
+
+val stop : t -> unit
+(** Stop accepting, drain queued requests (they are answered), shut the
+    worker pool down and join the server threads. Idempotent. *)
+
+val wait : t -> unit
+(** Block until the server stops (via {!stop} or [POST /shutdown]). *)
+
+val run : ?config:config -> unit -> unit
+(** {!start} then {!wait}. *)

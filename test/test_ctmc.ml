@@ -734,6 +734,57 @@ let test_analysis_absorbed_cache () =
   Alcotest.(check int) "one absorbed chain" 1 s.Analysis.absorbed_builds;
   Alcotest.(check bool) "second query reuses it" true (s.Analysis.absorbed_hits >= 1)
 
+let expect_invalid_arg msg f =
+  match f () with
+  | _ -> Alcotest.fail (msg ^ ": expected Invalid_argument")
+  | exception Invalid_argument _ -> ()
+
+let test_analysis_weights_cache_hit () =
+  (* the float-keyed weight cache must actually hit on repeat lookups *)
+  let m = analysis_chain () in
+  let a = Analysis.create m in
+  ignore (Analysis.weights a 1.5);
+  ignore (Analysis.weights a 1.5);
+  ignore (Analysis.weights a 1.5);
+  let s = Analysis.stats a in
+  Alcotest.(check int) "one compute" 1 s.Analysis.weight_computes;
+  Alcotest.(check int) "two hits" 2 s.Analysis.weight_hits
+
+let test_analysis_rejects_nan_keys () =
+  (* NaN can never hit a float-keyed cache (nan <> nan), so it must be
+     rejected at the session entry points instead of recomputing forever
+     (or failing later as a bare Not_found) *)
+  let m = analysis_chain () in
+  let a = Analysis.create m in
+  expect_invalid_arg "nan time" (fun () -> Analysis.weights a Float.nan);
+  expect_invalid_arg "infinite time" (fun () ->
+      Analysis.weights a Float.infinity);
+  expect_invalid_arg "nan epsilon" (fun () ->
+      Analysis.weights ~epsilon:Float.nan a 1.);
+  expect_invalid_arg "zero epsilon" (fun () ->
+      Analysis.weights ~epsilon:0. a 1.);
+  expect_invalid_arg "nan tol" (fun () ->
+      Analysis.cached_steady a ~tol:Float.nan (fun () ->
+          Alcotest.fail "compute must not run"));
+  expect_invalid_arg "negative tol" (fun () ->
+      Analysis.cached_steady a ~tol:(-1e-9) (fun () ->
+          Alcotest.fail "compute must not run"));
+  expect_invalid_arg "nan batch time" (fun () ->
+      let start = Array.make (Chain.states m) 0. in
+      Analysis.poisson_mixture_batch a ~dir:Analysis.Forward
+        [ { Analysis.start; coeff = Analysis.Pmf; times = [ 1.; Float.nan ] } ]);
+  let s = Analysis.stats a in
+  Alcotest.(check int) "nothing was computed" 0 s.Analysis.weight_computes
+
+let test_analysis_fnv1a64 () =
+  (* reference vectors for the exported content hash *)
+  Alcotest.(check int64) "empty" 0xcbf29ce484222325L (Analysis.fnv1a64 "");
+  Alcotest.(check int64) "a" 0xaf63dc4c8601ec8cL (Analysis.fnv1a64 "a");
+  Alcotest.(check int64) "foobar" 0x85944171f73967e8L
+    (Analysis.fnv1a64 "foobar");
+  Alcotest.(check bool) "content-sensitive" true
+    (Analysis.fnv1a64 "model-a" <> Analysis.fnv1a64 "model-b")
+
 let analysis_symmetric_chain () =
   (* two identical independent components (as in test_lump_symmetric_pair):
      states 0 = both up, 1/2 = one down, 3 = both down *)
@@ -1174,6 +1225,12 @@ let () =
             test_analysis_quotient_measures_agree;
           Alcotest.test_case "absorbed hash keys" `Quick
             test_analysis_absorbed_hash_keys;
+          Alcotest.test_case "weight cache hits on repeat" `Quick
+            test_analysis_weights_cache_hit;
+          Alcotest.test_case "nan keys rejected" `Quick
+            test_analysis_rejects_nan_keys;
+          Alcotest.test_case "fnv1a64 reference vectors" `Quick
+            test_analysis_fnv1a64;
         ] );
       ( "multi-kernel",
         [

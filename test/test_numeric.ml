@@ -758,6 +758,83 @@ let test_parallel_nested () =
   Alcotest.(check (list (list int)))
     "nested results" [ [ 11; 12 ]; [ 21; 22 ]; [ 31; 32 ] ] result
 
+let test_pool_map () =
+  let pool = Parallel.Pool.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "size" 3 (Parallel.Pool.size pool);
+      Alcotest.(check (list int)) "empty" [] (Parallel.Pool.map pool succ []);
+      Alcotest.(check (list int))
+        "singleton" [ 8 ]
+        (Parallel.Pool.map pool succ [ 7 ]);
+      let xs = List.init 20 (fun i -> i) in
+      Alcotest.(check (list int))
+        "order preserved"
+        (List.map (fun i -> i * i) xs)
+        (Parallel.Pool.map pool (fun i -> i * i) xs);
+      (* the pool is reusable: same domains serve the next batch *)
+      Alcotest.(check (list int))
+        "second batch" (List.map succ xs)
+        (Parallel.Pool.map pool succ xs))
+
+let test_pool_exception () =
+  let pool = Parallel.Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      Alcotest.check_raises "worker exception re-raised" (Failure "boom")
+        (fun () ->
+          ignore
+            (Parallel.Pool.map pool
+               (fun i -> if i = 3 then failwith "boom" else i)
+               (List.init 8 (fun i -> i))));
+      (* a failed batch must not poison the pool *)
+      Alcotest.(check (list int))
+        "pool survives" [ 1; 2; 3 ]
+        (Parallel.Pool.map pool succ [ 0; 1; 2 ]))
+
+let test_pool_nested () =
+  (* a map from inside a pool worker runs sequentially instead of
+     deadlocking on the pool's own task queue *)
+  let pool = Parallel.Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      let result =
+        Parallel.Pool.map pool
+          (fun i -> Parallel.Pool.map pool (fun j -> (10 * i) + j) [ 1; 2 ])
+          [ 1; 2; 3 ]
+      in
+      Alcotest.(check (list (list int)))
+        "nested results" [ [ 11; 12 ]; [ 21; 22 ]; [ 31; 32 ] ] result)
+
+let test_pool_shutdown () =
+  let pool = Parallel.Pool.create ~domains:2 () in
+  Parallel.Pool.shutdown pool;
+  Parallel.Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Parallel.Pool.map: pool is shut down") (fun () ->
+      ignore (Parallel.Pool.map pool succ [ 1 ]))
+
+let test_getenv_positive_int () =
+  let get name v =
+    Unix.putenv name v;
+    Parallel.getenv_positive_int name
+  in
+  Alcotest.(check (option int)) "valid" (Some 7) (get "PAR_TEST_KNOB_A" "7");
+  Alcotest.(check (option int))
+    "whitespace tolerated" (Some 3)
+    (get "PAR_TEST_KNOB_B" " 3 ");
+  Alcotest.(check (option int)) "garbage" None (get "PAR_TEST_KNOB_C" "lots");
+  Alcotest.(check (option int)) "zero" None (get "PAR_TEST_KNOB_D" "0");
+  Alcotest.(check (option int)) "negative" None (get "PAR_TEST_KNOB_E" "-2");
+  Alcotest.(check (option int)) "empty" None (get "PAR_TEST_KNOB_F" "");
+  Alcotest.(check (option int))
+    "unset" None
+    (Parallel.getenv_positive_int "PAR_TEST_KNOB_NEVER_SET")
+
 (* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
@@ -863,5 +940,11 @@ let () =
             test_parallel_exception;
           Alcotest.test_case "nested map is sequential" `Quick
             test_parallel_nested;
+          Alcotest.test_case "pool map" `Quick test_pool_map;
+          Alcotest.test_case "pool exception" `Quick test_pool_exception;
+          Alcotest.test_case "pool nested" `Quick test_pool_nested;
+          Alcotest.test_case "pool shutdown" `Quick test_pool_shutdown;
+          Alcotest.test_case "env knob parsing" `Quick
+            test_getenv_positive_int;
         ] );
     ]

@@ -477,6 +477,74 @@ let test_stats_registry_compat () =
 (* ------------------------------------------------------------------ *)
 (* Observability must not change analysis results *)
 
+(* ------------------------------------------------------------------ *)
+(* Atomic file writing *)
+
+let test_atomic_write_basic () =
+  let path = Filename.temp_file "arcade_obs_atomic" ".json" in
+  Obs.write_file_atomic path "first";
+  Obs.write_file_atomic path "second";
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Alcotest.(check string) "last write wins" "second" content;
+  Sys.remove path
+
+let test_atomic_write_concurrent () =
+  (* concurrent writers (distinct domains, same destination) must never
+     leave a torn file: every observable content is one writer's full
+     payload, and no temp droppings survive *)
+  let dir = Filename.temp_file "arcade_obs_atomicdir" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "out.json" in
+  let payload tag = String.concat "" (List.init 2048 (fun _ -> tag)) in
+  let writers = [ "a"; "b"; "c"; "d" ] in
+  let domains =
+    List.map
+      (fun tag ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 25 do
+              Obs.write_file_atomic path (payload tag)
+            done))
+      writers
+  in
+  List.iter Domain.join domains;
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Alcotest.(check bool)
+    "content is one writer's full payload" true
+    (List.exists (fun tag -> content = payload tag) writers);
+  Alcotest.(check (list string))
+    "no temp files left" [ "out.json" ]
+    (List.sort compare (Array.to_list (Sys.readdir dir)));
+  Sys.remove path;
+  Unix.rmdir dir
+
+let test_atomic_write_failure_cleanup () =
+  (* when the rename cannot land (destination is a directory), the
+     exception propagates and the temp file is unlinked *)
+  let dir = Filename.temp_file "arcade_obs_atomicfail" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let target = Filename.concat dir "clash" in
+  Unix.mkdir target 0o755;
+  (match Obs.write_file_atomic target "doomed" with
+  | () -> Alcotest.fail "expected the rename to fail"
+  | exception Sys_error _ -> ());
+  Alcotest.(check (list string))
+    "temp file unlinked" [ "clash" ]
+    (List.sort compare (Array.to_list (Sys.readdir dir)));
+  Unix.rmdir target;
+  Unix.rmdir dir
+
 let figure_values fig =
   List.concat_map
     (fun s -> List.map snd s.Experiments.points)
@@ -544,6 +612,14 @@ let () =
             test_metrics_counters_domains;
           Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram;
           Alcotest.test_case "snapshot json" `Quick test_metrics_json;
+        ] );
+      ( "atomic-write",
+        [
+          Alcotest.test_case "last write wins" `Quick test_atomic_write_basic;
+          Alcotest.test_case "concurrent writers never tear" `Quick
+            test_atomic_write_concurrent;
+          Alcotest.test_case "failure unlinks temp" `Quick
+            test_atomic_write_failure_cleanup;
         ] );
       ( "solver",
         [

@@ -1,0 +1,432 @@
+(* Integration tests for the analysis daemon: wire protocol, admission
+   control, session caching and batching amortization — everything over a
+   real socket against a server on an ephemeral port. *)
+
+module Json = Server.Json
+module Http = Server.Http
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let replace_once ~pat ~by s =
+  let n = String.length s and np = String.length pat in
+  let rec find i = if i + np > n then None else if String.sub s i np = pat then Some i else find (i + 1) in
+  match find 0 with
+  | None -> s
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + np) (n - i - np)
+
+let tiny_model =
+  {|<arcade name="tiny">
+  <components>
+    <component name="a" mttf="100" mttr="2" failed-cost="3" operational-cost="1"/>
+    <component name="b" mttf="50" mttr="1" failed-cost="2" operational-cost="1"/>
+  </components>
+  <repair-units>
+    <repair-unit name="ru" strategy="dedicated" crews="1" idle-cost="0" busy-cost="1" preemptive="false">
+      <component ref="a"/>
+      <component ref="b"/>
+    </repair-unit>
+  </repair-units>
+  <fault-tree>
+    <or>
+      <basic ref="a"/>
+      <basic ref="b"/>
+    </or>
+  </fault-tree>
+</arcade>|}
+
+let measure_queries =
+  [
+    "S=? [ \"full_service\" ]";
+    "S=? [ \"operational\" ]";
+    "P=? [ true U<=10 !\"full_service\" ]";
+    "R{\"cost\"}=? [ C<=10 ]";
+    "R{\"cost\"}=? [ I=10 ]";
+  ]
+
+let with_server ?(batch_window_ms = 2) f =
+  let config =
+    {
+      Server.host = "127.0.0.1";
+      port = 0;
+      domains = 2;
+      batch_window_ms;
+      max_sessions = 8;
+      lump = false;
+    }
+  in
+  let srv = Server.start ~config () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () -> f (Server.port srv))
+
+let post_analyze ?(model = tiny_model) ?(queries = measure_queries) port =
+  let body =
+    Json.to_string
+      (Json.Obj
+         [
+           ("model", Json.Str model);
+           ("queries", Json.List (List.map (fun q -> Json.Str q) queries));
+         ])
+  in
+  Http.request ~host:"127.0.0.1" ~port ~meth:"POST" ~path:"/analyze" ~body ()
+
+let num_field key json =
+  match Json.member key json with
+  | Some (Json.Num x) -> x
+  | _ -> Alcotest.fail (Printf.sprintf "expected numeric field %S" key)
+
+let stat path json =
+  let rec go json = function
+    | [] -> Alcotest.fail "empty stat path"
+    | [ key ] -> num_field key json
+    | key :: rest -> (
+        match Json.member key json with
+        | Some j -> go j rest
+        | None -> Alcotest.fail (Printf.sprintf "missing stats member %S" key))
+  in
+  go json path
+
+let fetch_stats port =
+  match Http.request ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/stats" () with
+  | 200, body -> Json.parse body
+  | status, _ -> Alcotest.fail (Printf.sprintf "/stats answered %d" status)
+
+(* ------------------------------------------------------------------ *)
+(* Json unit tests *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      "null";
+      "true";
+      "[1,2.5,-3e-2]";
+      {|{"a":"b \"quoted\" \n","c":[{},[]]}|};
+      {|"Aé中"|};
+    ]
+  in
+  List.iter
+    (fun src ->
+      let once = Json.to_string (Json.parse src) in
+      let twice = Json.to_string (Json.parse once) in
+      Alcotest.(check string) src once twice)
+    cases;
+  match Json.parse {|{"x": 1.5}|} with
+  | Json.Obj [ ("x", Json.Num x) ] -> Alcotest.(check (float 0.)) "value" 1.5 x
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_json_errors () =
+  List.iter
+    (fun src ->
+      match Json.parse src with
+      | _ -> Alcotest.fail (Printf.sprintf "%S should not parse" src)
+      | exception Json.Parse_error _ -> ())
+    [ ""; "{"; "[1,]"; "tru"; {|"unterminated|}; "1 2"; "{\"a\" 1}"; "nan" ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol *)
+
+let test_health_and_404 () =
+  with_server (fun port ->
+      let status, body =
+        Http.request ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/health" ()
+      in
+      Alcotest.(check int) "health status" 200 status;
+      Alcotest.(check (option string))
+        "health body" (Some "ok")
+        (Json.string_field "status" (Json.parse body));
+      let status, _ =
+        Http.request ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/nope" ()
+      in
+      Alcotest.(check int) "unknown endpoint" 404 status)
+
+let test_correct_values () =
+  (* server answers must equal direct in-process analysis *)
+  with_server (fun port ->
+      let xml, locator = Xml_kit.parse_string_located tiny_model in
+      let model, _ = Core.Xml_io.of_xml ~pos:locator xml in
+      let m = Core.Measures.analyze model in
+      let csl = Core.Measures.to_csl_model m in
+      let status, body = post_analyze port in
+      Alcotest.(check int) "status" 200 status;
+      let resp = Json.parse body in
+      let results =
+        match Json.list_field "results" resp with
+        | Some l -> l
+        | None -> Alcotest.fail "missing results"
+      in
+      Alcotest.(check int)
+        "one result per query"
+        (List.length measure_queries)
+        (List.length results);
+      List.iter2
+        (fun query result ->
+          let expected =
+            match Csl.Checker.check_string csl query with
+            | Csl.Checker.Value v -> v
+            | Csl.Checker.Satisfied _ -> Alcotest.fail "expected a value"
+          in
+          Alcotest.(check (option string))
+            ("echo " ^ query) (Some query)
+            (Json.string_field "query" result);
+          Alcotest.(check (float 1e-9)) query expected (num_field "value" result))
+        measure_queries results)
+
+let test_boolean_query () =
+  with_server (fun port ->
+      let status, body = post_analyze ~queries:[ "true" ] port in
+      Alcotest.(check int) "status" 200 status;
+      match Json.list_field "results" (Json.parse body) with
+      | Some [ r ] ->
+          Alcotest.(check (option bool))
+            "satisfied" (Some true)
+            (match Json.member "satisfied" r with
+            | Some (Json.Bool b) -> Some b
+            | _ -> None)
+      | _ -> Alcotest.fail "expected one result")
+
+let test_session_hit_on_repeat () =
+  with_server (fun port ->
+      let tag body =
+        Option.get (Json.string_field "session" (Json.parse body))
+      in
+      let _, first = post_analyze port in
+      let _, second = post_analyze port in
+      Alcotest.(check string) "first builds" "miss" (tag first);
+      Alcotest.(check string) "second reuses" "hit" (tag second);
+      let stats = fetch_stats port in
+      Alcotest.(check (float 0.)) "one build" 1. (stat [ "sessions"; "misses" ] stats);
+      Alcotest.(check bool)
+        "hits recorded" true
+        (stat [ "sessions"; "hits" ] stats >= 1.))
+
+(* ------------------------------------------------------------------ *)
+(* Admission control: bad input answers 4xx and the server stays up *)
+
+let test_malformed_json () =
+  with_server (fun port ->
+      let cl = Http.connect ~host:"127.0.0.1" ~port in
+      Fun.protect
+        ~finally:(fun () -> Http.close cl)
+        (fun () ->
+          let status, body =
+            Http.call cl ~meth:"POST" ~path:"/analyze" ~body:"{nope" ()
+          in
+          Alcotest.(check int) "bad json status" 400 status;
+          Alcotest.(check bool)
+            "error mentions json" true
+            (match Json.string_field "error" (Json.parse body) with
+            | Some msg -> contains msg "JSON" || contains msg "json"
+            | None -> false);
+          (* same connection still serves *)
+          let status, _ = Http.call cl ~meth:"GET" ~path:"/health" () in
+          Alcotest.(check int) "still alive" 200 status))
+
+let test_malformed_model () =
+  with_server (fun port ->
+      let status, body =
+        post_analyze ~model:"<arcade name=\"broken\"><components>" port
+      in
+      Alcotest.(check int) "unparsable xml" 422 status;
+      let resp = Json.parse body in
+      (match Json.list_field "diagnostics" resp with
+      | Some (first :: _) ->
+          Alcotest.(check bool)
+            "diagnostic has a code" true
+            (Json.string_field "code" first <> None)
+      | Some [] | None -> Alcotest.fail "expected lint diagnostics");
+      (* dangling ref: well-formed XML rejected by lint, not by a crash *)
+      let bad_ref =
+        replace_once ~pat:{|<basic ref="b"/>|} ~by:{|<basic ref="ghost"/>|}
+          tiny_model
+      in
+      let status, _ = post_analyze ~model:bad_ref port in
+      Alcotest.(check int) "lint rejects dangling ref" 422 status;
+      let status, _ =
+        Http.request ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/health" ()
+      in
+      Alcotest.(check int) "server survives" 200 status)
+
+let test_malformed_query () =
+  with_server (fun port ->
+      let status, body =
+        post_analyze ~queries:[ "S=? [ \"full_service\"" ] port
+      in
+      Alcotest.(check int) "query syntax error" 400 status;
+      let resp = Json.parse body in
+      Alcotest.(check bool)
+        "positioned" true
+        (Json.member "line" resp <> None && Json.member "column" resp <> None);
+      Alcotest.(check (option (float 0.)))
+        "index" (Some 0.)
+        (match Json.member "query_index" resp with
+        | Some (Json.Num x) -> Some x
+        | _ -> None))
+
+let test_missing_fields () =
+  with_server (fun port ->
+      let post body =
+        fst
+          (Http.request ~host:"127.0.0.1" ~port ~meth:"POST" ~path:"/analyze"
+             ~body ())
+      in
+      Alcotest.(check int) "no model" 400 (post {|{"queries":[]}|});
+      Alcotest.(check int)
+        "bad queries" 400
+        (post (Json.to_string
+                 (Json.Obj
+                    [ ("model", Json.Str tiny_model); ("queries", Json.Num 3.) ])));
+      Alcotest.(check int)
+        "bad lump" 400
+        (post (Json.to_string
+                 (Json.Obj
+                    [ ("model", Json.Str tiny_model); ("lump", Json.Str "x") ]))))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency, caching and amortization *)
+
+let test_concurrent_amortization () =
+  with_server ~batch_window_ms:10 (fun port ->
+      let clients = 4 and per_client = 5 in
+      (* analysis.* counters are process-global (other tests in this
+         binary bump them too), so sweeps are measured as a delta *)
+      let sweeps_before =
+        stat [ "analysis"; "mixture_passes" ] (fetch_stats port)
+      in
+      let errors = Atomic.make 0 in
+      let threads =
+        List.init clients (fun _ ->
+            Thread.create
+              (fun () ->
+                for _ = 1 to per_client do
+                  match post_analyze port with
+                  | 200, _ -> ()
+                  | _ -> Atomic.incr errors
+                  | exception _ -> Atomic.incr errors
+                done)
+              ())
+      in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "no failed requests" 0 (Atomic.get errors);
+      let stats = fetch_stats port in
+      let requests = float_of_int (clients * per_client) in
+      Alcotest.(check (float 0.))
+        "all requests admitted" requests
+        (stat [ "server"; "requests" ] stats);
+      Alcotest.(check (float 0.))
+        "one session build" 1.
+        (stat [ "sessions"; "misses" ] stats);
+      Alcotest.(check bool)
+        "cache hits accumulate" true
+        (stat [ "sessions"; "hits" ] stats >= requests -. 1.);
+      (* the acceptance bar: strictly fewer uniformization sweeps than
+         one-query-at-a-time execution (3 sweeps per request: until,
+         cumulative reward, instantaneous reward) *)
+      let sweeps =
+        stat [ "analysis"; "mixture_passes" ] stats -. sweeps_before
+      in
+      let naive = 3. *. requests in
+      Alcotest.(check bool)
+        (Printf.sprintf "amortized sweeps (%g < %g)" sweeps naive)
+        true
+        (sweeps > 0. && sweeps < naive);
+      Alcotest.(check bool)
+        "hit rate positive" true
+        (stat [ "sessions"; "hit_rate" ] stats > 0.))
+
+let test_distinct_models_fan_out () =
+  with_server (fun port ->
+      let variant i =
+        replace_once ~pat:{|mttf="100"|}
+          ~by:(Printf.sprintf {|mttf="%d"|} (100 + i))
+          tiny_model
+      in
+      let threads =
+        List.init 3 (fun i ->
+            Thread.create (fun () -> post_analyze ~model:(variant i) port) ())
+      in
+      List.iter Thread.join threads;
+      let stats = fetch_stats port in
+      Alcotest.(check (float 0.))
+        "three sessions" 3.
+        (stat [ "sessions"; "misses" ] stats);
+      Alcotest.(check (float 0.))
+        "all live" 3.
+        (stat [ "sessions"; "live" ] stats))
+
+let test_metrics_endpoint () =
+  with_server (fun port ->
+      ignore (post_analyze port);
+      match
+        Http.request ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/metrics" ()
+      with
+      | 200, body -> (
+          match Json.parse body with
+          | Json.Obj members ->
+              Alcotest.(check bool)
+                "has counters" true
+                (List.mem_assoc "counters" members)
+          | _ -> Alcotest.fail "metrics is not an object")
+      | status, _ -> Alcotest.fail (Printf.sprintf "/metrics answered %d" status))
+
+let test_shutdown_endpoint () =
+  let config =
+    {
+      Server.host = "127.0.0.1";
+      port = 0;
+      domains = 1;
+      batch_window_ms = 0;
+      max_sessions = 4;
+      lump = false;
+    }
+  in
+  let srv = Server.start ~config () in
+  let port = Server.port srv in
+  let status, _ =
+    Http.request ~host:"127.0.0.1" ~port ~meth:"POST" ~path:"/shutdown" ()
+  in
+  Alcotest.(check int) "shutdown acknowledged" 200 status;
+  Server.wait srv;
+  (match Http.request ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/health" () with
+  | _ -> Alcotest.fail "server still answering after shutdown"
+  | exception (Unix.Unix_error _ | End_of_file | Http.Bad_request _) -> ());
+  Server.stop srv
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "health and 404" `Quick test_health_and_404;
+          Alcotest.test_case "values match direct analysis" `Quick
+            test_correct_values;
+          Alcotest.test_case "boolean query" `Quick test_boolean_query;
+          Alcotest.test_case "session hit on repeat" `Quick
+            test_session_hit_on_repeat;
+          Alcotest.test_case "metrics endpoint" `Quick test_metrics_endpoint;
+          Alcotest.test_case "shutdown endpoint" `Quick test_shutdown_endpoint;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "malformed json" `Quick test_malformed_json;
+          Alcotest.test_case "malformed model" `Quick test_malformed_model;
+          Alcotest.test_case "malformed query" `Quick test_malformed_query;
+          Alcotest.test_case "missing fields" `Quick test_missing_fields;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "concurrent amortization" `Quick
+            test_concurrent_amortization;
+          Alcotest.test_case "distinct models fan out" `Quick
+            test_distinct_models_fan_out;
+        ] );
+    ]
