@@ -20,7 +20,10 @@
    (dump the per-artifact timings — with curve point counts and
    state-space sizes — plus kernel counters, the Obs metrics snapshot and
    micro-benchmark estimates as JSON — the BENCH_*.json perf trajectory;
-   written atomically via temp file + rename), OBS_TRACE=<path> (Chrome
+   written atomically via temp file + rename), BENCH_HISTORY=<path>
+   (append one compact JSONL entry — git rev, wall times, kernel
+   counters, solver iterations — for arcade_bench_diff's regression
+   gate; BENCH_REV overrides the recorded revision), OBS_TRACE=<path> (Chrome
    trace-event JSON of the whole run, loadable in Perfetto) and
    OBS_METRICS=1|<path> (enable the metrics registry; print the snapshot
    to stderr at exit, or write it to <path> as JSON). *)
@@ -547,6 +550,70 @@ let write_json path ~artifacts ~kernel ~ablations ~micro =
   Obs.write_file_atomic path (Buffer.contents buf);
   Format.printf "wrote timings to %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* BENCH_HISTORY: append-only JSONL perf trajectory, one compact entry
+   per run. arcade_bench_diff compares two entries (or the last two of
+   one file) and fails CI past a wall-time regression threshold. *)
+
+let git_rev () =
+  match Sys.getenv_opt "BENCH_REV" with
+  | Some rev when rev <> "" -> rev
+  | _ -> (
+      match Unix.open_process_in "git rev-parse HEAD 2>/dev/null" with
+      | ic -> (
+          let line = try input_line ic with End_of_file -> "" in
+          match Unix.close_process_in ic with
+          | Unix.WEXITED 0 when line <> "" -> line
+          | _ -> "unknown")
+      | exception Unix.Unix_error _ -> "unknown")
+
+let append_history path ~artifacts ~kernel =
+  (* total solver iterations across all iterative solvers, from the
+     metrics registry (0 when OBS_METRICS is off) *)
+  let solver_iterations =
+    List.fold_left
+      (fun acc (name, v) ->
+        let suffix = ".iterations" in
+        let n = String.length name and ns = String.length suffix in
+        if
+          n > ns + 7
+          && String.sub name 0 7 = "solver."
+          && String.sub name (n - ns) ns = suffix
+        then acc + v
+        else acc)
+      0
+      (Obs.Metrics.snapshot ()).Obs.Metrics.counters
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"rev\": \"%s\", \"unix_time\": %.0f, \"bench_points\": %d, \
+        \"par_domains\": %d, \"artifacts\": ["
+       (json_escape (git_rev ()))
+       (Unix.gettimeofday ())
+       (getenv_int "BENCH_POINTS" 15)
+       (Numeric.Parallel.default_domains ()));
+  List.iteri
+    (fun i a ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s{\"id\": \"%s\", \"seconds\": %.6f}"
+           (if i = 0 then "" else ", ")
+           (json_escape a.art_id) a.art_seconds))
+    artifacts;
+  Buffer.add_string buf "], \"kernel\": {";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun (name, v) -> Printf.sprintf "\"%s\": %.6g" (json_escape name) v)
+          kernel));
+  Buffer.add_string buf
+    (Printf.sprintf "}, \"solver_iterations\": %d}\n" solver_iterations);
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Format.printf "appended history entry to %s@." path
+
 let () =
   Obs.init ();
   let artifacts =
@@ -557,6 +624,9 @@ let () =
     if skip "BENCH_SKIP_ABLATIONS" then [] else print_ablations ()
   in
   let micro = if skip "BENCH_SKIP_MICRO" then [] else run_micro () in
+  (match Sys.getenv_opt "BENCH_HISTORY" with
+  | Some path when path <> "" -> append_history path ~artifacts ~kernel
+  | Some _ | None -> ());
   match Sys.getenv_opt "BENCH_JSON" with
   | Some path -> write_json path ~artifacts ~kernel ~ablations ~micro
   | None -> ()

@@ -86,6 +86,12 @@ let fetch_stats ~host ~port =
   | 200, body -> Json.parse body
   | status, _ -> failwith (Printf.sprintf "/stats answered %d" status)
 
+let fetch_metrics ~host ~port =
+  match Http.request ~host ~port ~meth:"GET" ~path:"/metrics" () with
+  | 200, body -> ( try Some (Json.parse body) with Json.Parse_error _ -> None)
+  | _ -> None
+  | exception (Unix.Unix_error _ | End_of_file | Http.Bad_request _) -> None
+
 let stat path stats =
   let rec go json = function
     | [] -> num_field "" json
@@ -105,10 +111,27 @@ type tally = {
   mutable hits : int;
   mutable misses : int;
   mutable coalesced : int;
+  mutable slowest_ms : float;
+  mutable slowest_trace : string;
+      (** trace id of the slowest request — join it against the server's
+          trace / access log / flight dump *)
+  mutable error_traces : string list;  (** most recent first, bounded *)
 }
 
 let new_tally () =
-  { latencies_ms = []; ok = 0; errors = 0; hits = 0; misses = 0; coalesced = 0 }
+  {
+    latencies_ms = [];
+    ok = 0;
+    errors = 0;
+    hits = 0;
+    misses = 0;
+    coalesced = 0;
+    slowest_ms = -1.;
+    slowest_trace = "";
+    error_traces = [];
+  }
+
+let max_error_traces = 8
 
 let worker ~host ~port ~bodies ~next ~total tally =
   let client = ref None in
@@ -128,29 +151,74 @@ let worker ~host ~port ~bodies ~next ~total tally =
     let i = Atomic.fetch_and_add next 1 in
     if i < total then begin
       let body = bodies.(i mod Array.length bodies) in
+      (* every request carries its own W3C trace identity, so a slow or
+         failed request here can be looked up in the server's trace *)
+      let ctx = Obs.Trace.new_context () in
+      let headers = [ ("traceparent", Obs.Trace.format_traceparent ctx) ] in
+      let record_error () =
+        tally.errors <- tally.errors + 1;
+        if List.length tally.error_traces < max_error_traces then
+          tally.error_traces <- ctx.Obs.Trace.trace_id :: tally.error_traces
+      in
       let t0 = Obs.monotonic_ns () in
-      (match Http.call (get_client ()) ~meth:"POST" ~path:"/analyze" ~body () with
+      (match
+         Http.call (get_client ()) ~headers ~meth:"POST" ~path:"/analyze" ~body
+           ()
+       with
       | 200, resp ->
           let dt =
             Int64.to_float (Int64.sub (Obs.monotonic_ns ()) t0) /. 1e6
           in
           tally.latencies_ms <- dt :: tally.latencies_ms;
           tally.ok <- tally.ok + 1;
+          if dt > tally.slowest_ms then begin
+            tally.slowest_ms <- dt;
+            tally.slowest_trace <- ctx.Obs.Trace.trace_id
+          end;
           (match Json.string_field "session" (Json.parse resp) with
           | Some "hit" -> tally.hits <- tally.hits + 1
           | Some "miss" -> tally.misses <- tally.misses + 1
           | Some "coalesced" -> tally.coalesced <- tally.coalesced + 1
           | _ -> ()
           | exception Json.Parse_error _ -> ())
-      | _, _ -> tally.errors <- tally.errors + 1
+      | _, _ -> record_error ()
       | exception (Unix.Unix_error _ | End_of_file | Http.Bad_request _) ->
-          tally.errors <- tally.errors + 1;
+          record_error ();
           drop_client ());
       loop ()
     end
   in
   loop ();
   drop_client ()
+
+(* The client-side view of latency, in the exact histogram schema the
+   server's /metrics JSON uses ({bounds; counts; total; sum} on the
+   latency grid) — comparing the two sides of the same run is then a
+   field-by-field diff. *)
+let client_histogram latencies =
+  let bounds = Obs.Metrics.latency_ms_buckets in
+  let counts = Array.make (Array.length bounds + 1) 0 in
+  let sum = ref 0. in
+  Array.iter
+    (fun x ->
+      sum := !sum +. x;
+      let rec slot i =
+        if i >= Array.length bounds || x <= bounds.(i) then i else slot (i + 1)
+      in
+      let i = slot 0 in
+      counts.(i) <- counts.(i) + 1)
+    latencies;
+  Json.Obj
+    [
+      ( "bounds",
+        Json.List (Array.to_list (Array.map (fun b -> Json.num b) bounds)) );
+      ( "counts",
+        Json.List
+          (Array.to_list (Array.map (fun c -> Json.num (float_of_int c)) counts))
+      );
+      ("total", Json.num (float_of_int (Array.length latencies)));
+      ("sum", Json.num !sum);
+    ]
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -185,6 +253,9 @@ let load host port model variants requests clients lump out shutdown =
   Array.iter Thread.join threads;
   let seconds = Int64.to_float (Int64.sub (Obs.monotonic_ns ()) t0) /. 1e9 in
   let after = fetch_stats ~host ~port in
+  (* the server's end-of-run metrics snapshot rides along in the report,
+     so one file holds both sides of the run *)
+  let server_metrics = fetch_metrics ~host ~port in
   let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
   let ok = sum (fun t -> t.ok)
   and errors = sum (fun t -> t.errors)
@@ -206,6 +277,18 @@ let load host port model variants requests clients lump out shutdown =
   and smisses = delta [ "sessions"; "misses" ] in
   let hit_rate =
     if shits +. smisses = 0. then 0. else shits /. (shits +. smisses)
+  in
+  let slowest =
+    Array.fold_left
+      (fun acc t ->
+        match acc with
+        | Some (ms, _) when ms >= t.slowest_ms -> acc
+        | _ when t.slowest_ms < 0. -> acc
+        | _ -> Some (t.slowest_ms, t.slowest_trace))
+      None tallies
+  in
+  let error_traces =
+    Array.fold_left (fun acc t -> t.error_traces @ acc) [] tallies
   in
   let report =
     Json.Obj
@@ -239,6 +322,24 @@ let load host port model variants requests clients lump out shutdown =
                   (if latencies = [||] then 0.
                    else latencies.(Array.length latencies - 1)) );
             ] );
+        ("latency_histogram_ms", client_histogram latencies);
+        ( "traces",
+          Json.Obj
+            (List.concat
+               [
+                 (match slowest with
+                 | Some (ms, id) ->
+                     [
+                       ("slowest_trace_id", Json.Str id);
+                       ("slowest_ms", Json.num ms);
+                     ]
+                 | None -> []);
+                 [
+                   ( "errors",
+                     Json.List
+                       (List.map (fun id -> Json.Str id) error_traces) );
+                 ];
+               ]) );
         ("ok", Json.num (float_of_int ok));
         ("errors", Json.num (float_of_int errors));
         ( "responses",
@@ -256,6 +357,8 @@ let load host port model variants requests clients lump out shutdown =
               ("naive_mixture_passes", Json.num naive_passes);
             ] );
         ("server", after);
+        ( "server_metrics",
+          Option.value server_metrics ~default:(Json.Obj []) );
       ]
   in
   Printf.printf

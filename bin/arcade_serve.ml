@@ -5,6 +5,15 @@ open Cmdliner
 
 let serve host port domains window_ms max_sessions lump =
   Obs.init ();
+  (* daemon-appropriate tracing defaults: bounded buffers (unless the
+     operator chose a bound — or unbounded retention — explicitly) and
+     incremental flushing, so a long OBS_TRACE run cannot grow the heap
+     without limit; kill -USR1 dumps the flight ring *)
+  if Sys.getenv_opt "OBS_TRACE" <> None
+     && Sys.getenv_opt "OBS_TRACE_BUFFER" = None
+  then Obs.Trace.set_buffer_capacity (Some 65536);
+  Obs.Trace.set_incremental true;
+  Obs.Flight.arm_sigusr1 ();
   let dft = Server.default_config () in
   let config =
     {

@@ -69,6 +69,8 @@ let m_absorbed_hits = Obs.Metrics.counter "analysis.absorbed_hits"
 
 let m_absorbed_collisions = Obs.Metrics.counter "analysis.absorbed_collisions"
 
+let m_fg_mass_deficit = Obs.Metrics.gauge "analysis.fg_mass_deficit"
+
 let m_mixture_passes = Obs.Metrics.counter "analysis.mixture_passes"
 
 let m_mixture_steps = Obs.Metrics.counter "analysis.mixture_steps"
@@ -522,15 +524,20 @@ let poisson_mixture_batch ?epsilon t ~dir batches =
       let _, p = uniformized t in
       (* phase 1: Fox-Glynn windows + per-(stream, time) coefficient
          streams *)
+      (* worst truncation error across the Fox–Glynn windows of this
+         pass: 1 - total weight mass inside the [left, right] window *)
+      let fg_deficit = ref 0. in
       let accums =
         Obs.Trace.with_span "mixture.weights" @@ fun _ ->
         List.concat
           (List.init width (fun col ->
                List.map
                  (fun tm ->
+                   let w = weights ?epsilon t tm in
+                   fg_deficit :=
+                     Float.max !fg_deficit (1. -. Fox_glynn.total_mass w);
                    let coeff_at, last =
-                     coefficients t ~coeff:barr.(col).coeff
-                       (weights ?epsilon t tm)
+                     coefficients t ~coeff:barr.(col).coeff w
                    in
                    let a = { acc = Vec.zeros n; coeff_at; last; col } in
                    Hashtbl.replace by_time.(col) tm a.acc;
@@ -548,6 +555,7 @@ let poisson_mixture_batch ?epsilon t ~dir batches =
       t.counters.batch_columns <- t.counters.batch_columns + width;
       Obs.Metrics.add m_batch_columns width;
       Obs.Metrics.observe m_sweep_len (float_of_int (right_max + 1));
+      Obs.Metrics.set_gauge m_fg_mass_deficit !fg_deficit;
       if Obs.Trace.recording mix_span then begin
         Obs.Trace.add_attr mix_span "states" (Obs.Int n);
         Obs.Trace.add_attr mix_span "batch_width" (Obs.Int width);
@@ -555,7 +563,10 @@ let poisson_mixture_batch ?epsilon t ~dir batches =
         Obs.Trace.add_attr mix_span "distinct"
           (Obs.Int (List.length accums));
         Obs.Trace.add_attr mix_span "sweep_length" (Obs.Int (right_max + 1));
-        Obs.Trace.add_attr mix_span "spmvs" (Obs.Int right_max)
+        Obs.Trace.add_attr mix_span "spmvs" (Obs.Int right_max);
+        Obs.Trace.add_attr mix_span "fg_mass_deficit" (Obs.Float !fg_deficit);
+        Obs.Trace.add_attr mix_span "epsilon"
+          (Obs.Float (Option.value epsilon ~default:default_epsilon))
       end;
       (* phase 2: the shared blocked sweep (right_max blocked SpMVs, each
          one matrix pass for all [width] streams) *)

@@ -56,11 +56,16 @@ let map ?domains f xs =
     let input = Array.of_list xs in
     let output = Array.make n None in
     let workers = min d n in
+    (* the submitter's trace context crosses the domain boundary with the
+       chunk, so worker-side spans still join the submitting request's
+       trace (domain-local context does not survive Domain.spawn) *)
+    let ctx = Obs.Trace.current_context () in
     let spawn w =
       (* chunk w covers [w*n/workers, (w+1)*n/workers) *)
       let lo = w * n / workers and hi = (w + 1) * n / workers in
       Domain.spawn (fun () ->
           Domain.DLS.set in_worker true;
+          Obs.Trace.with_context ctx @@ fun () ->
           (* the span lands in this worker domain's own Obs buffer, so
              Chrome traces show one track per domain with its chunk *)
           Obs.Trace.with_span "parallel.chunk" @@ fun span ->
@@ -167,6 +172,11 @@ module Pool = struct
         let remaining = ref n in
         let dm = Mutex.create () in
         let all_done = Condition.create () in
+        (* capture the submitting request's trace context at enqueue time
+           and re-install it in whichever pool domain runs the task, so a
+           coalesced sweep executed on a worker shows up inside the
+           request's trace *)
+        let ctx = Obs.Trace.current_context () in
         Mutex.protect pool.m (fun () ->
             if pool.closed then
               invalid_arg "Parallel.Pool.map: pool is shut down";
@@ -174,7 +184,7 @@ module Pool = struct
               (fun i x ->
                 Queue.add
                   (fun () ->
-                    (match f x with
+                    (match Obs.Trace.with_context ctx (fun () -> f x) with
                     | y -> results.(i) <- Some y
                     | exception e -> failures.(i) <- Some e);
                     Mutex.protect dm (fun () ->

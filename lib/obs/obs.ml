@@ -122,10 +122,17 @@ module Metrics = struct
 
   let set_gauge g x = if !on then Atomic.set g x
 
+  let gauge_value g = Atomic.get g
+
   (* log-spaced decade grid: residuals (1e-16..1) and counts/widths
      (1..1e6) both land in meaningful buckets *)
   let default_buckets =
     Array.init 23 (fun i -> 10. ** float_of_int (i - 16))
+
+  (* latency-shaped grid for request/query timings in milliseconds:
+     0.25 ms .. ~8 s in powers of two *)
+  let latency_ms_buckets =
+    Array.init 16 (fun i -> 0.25 *. (2. ** float_of_int i))
 
   let histogram ?(buckets = default_buckets) name =
     Array.iteri
@@ -178,11 +185,19 @@ module Metrics = struct
 
   let ring_mutex = Mutex.create ()
 
+  (* The flight recorder (defined below; [Flight] cannot be referenced
+     from here) hooks non-convergence so a long-running daemon keeps a
+     post-mortem trace of the request that failed to converge. *)
+  let nonconverged_hook : (unit -> unit) ref = ref (fun () -> ())
+
   let record_solve ~solver ~size ~iterations ~residual ~converged =
     if !on then begin
       add (counter (Printf.sprintf "solver.%s.solves" solver)) 1;
       add (counter (Printf.sprintf "solver.%s.iterations" solver)) iterations;
       set_gauge (gauge (Printf.sprintf "solver.%s.last_residual" solver)) residual;
+      (* aggregate across solvers: the server attaches this to the
+         request span without knowing which solver ran *)
+      set_gauge (gauge "solver.last_residual") residual;
       observe
         (histogram (Printf.sprintf "solver.%s.residual" solver))
         residual;
@@ -190,7 +205,8 @@ module Metrics = struct
       Mutex.protect ring_mutex (fun () ->
           ring.(!ring_next mod ring_capacity) <- Some s;
           ring_next := !ring_next + 1)
-    end
+    end;
+    if not converged then !nonconverged_hook ()
 
   (* ---------------------------------------------------------------- *)
   (* Snapshots                                                        *)
@@ -342,6 +358,72 @@ module Metrics = struct
       s.solves;
     Buffer.add_string buf "\n  ]\n}\n";
     Buffer.contents buf
+
+  (* ---------------------------------------------------------------- *)
+  (* Prometheus text exposition (format 0.0.4)                        *)
+
+  let prom_name name =
+    let b = Buffer.create (String.length name + 8) in
+    Buffer.add_string b "arcade_";
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' ->
+            Buffer.add_char b c
+        | _ -> Buffer.add_char b '_')
+      name;
+    Buffer.contents b
+
+  let prom_float x =
+    if Float.is_nan x then "NaN"
+    else if x = Float.infinity then "+Inf"
+    else if x = Float.neg_infinity then "-Inf"
+    else Printf.sprintf "%.17g" x
+
+  (* Name sanitization can merge two registry names into one Prometheus
+     family ("a.b" and "a_b"); the first (registry order is sorted) wins
+     and later collisions are skipped entirely, so the exposition never
+     emits two "# TYPE" lines or two sample sets for one family. *)
+  let to_prometheus (s : snapshot) =
+    let buf = Buffer.create 4096 in
+    let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    let family name kind emit =
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind);
+        emit name
+      end
+    in
+    List.iter
+      (fun (name, v) ->
+        family
+          (prom_name name ^ "_total")
+          "counter"
+          (fun n -> Buffer.add_string buf (Printf.sprintf "%s %d\n" n v)))
+      s.counters;
+    List.iter
+      (fun (name, v) ->
+        family (prom_name name) "gauge" (fun n ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s %s\n" n (prom_float v))))
+      s.gauges;
+    List.iter
+      (fun (name, h) ->
+        family (prom_name name) "histogram" (fun n ->
+            let cum = ref 0 in
+            Array.iteri
+              (fun i bound ->
+                cum := !cum + h.counts.(i);
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" n bound !cum))
+              h.bounds;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.total);
+            Buffer.add_string buf
+              (Printf.sprintf "%s_sum %s\n" n (prom_float h.sum));
+            Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.total)))
+      s.histograms;
+    Buffer.contents buf
 end
 
 (* ------------------------------------------------------------------ *)
@@ -350,9 +432,135 @@ end
 module Trace = struct
   let on = ref false
 
+  (* Shared with [Flight] (defined after this module): when the flight
+     recorder is enabled, spans are captured into its rings even while
+     file tracing is off. *)
+  let flight_on = ref false
+
   let enabled () = !on
 
+  let active () = !on || !flight_on
+
   let output_path = ref None
+
+  (* ---------------------------------------------------------------- *)
+  (* W3C trace-context                                                *)
+
+  type context = { trace_id : string; span_id : string }
+
+  (* splitmix64 over an atomic counter + per-process seed: id generation
+     is contention-light and unique across the processes of one test run
+     (the pid is folded into the seed). *)
+  let splitmix64 z =
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let id_seed =
+    Int64.logxor (monotonic_ns ())
+      (Int64.of_int (Unix.getpid () * 0x9E3779B9))
+
+  let id_counter = Atomic.make 1
+
+  let next64 () =
+    let n = Atomic.fetch_and_add id_counter 1 in
+    let v =
+      splitmix64 (Int64.add id_seed (Int64.mul (Int64.of_int n) 0x9E3779B97F4A7C15L))
+    in
+    if v = 0L then 1L else v
+
+  let hex16 v = Printf.sprintf "%016Lx" v
+
+  let gen_span_id () = hex16 (next64 ())
+
+  let new_context () =
+    { trace_id = hex16 (next64 ()) ^ hex16 (next64 ()); span_id = gen_span_id () }
+
+  let child_context c = { c with span_id = gen_span_id () }
+
+  let is_lower_hex s =
+    String.for_all
+      (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+      s
+
+  let all_zero s = String.for_all (fun c -> c = '0') s
+
+  (* W3C Trace Context level 1: [00-<32 hex>-<16 hex>-<2 hex>]; hex is
+     lowercase only, all-zero ids are invalid, version [ff] is invalid,
+     and version 00 admits no extra fields (later versions may append
+     fields, which we ignore). *)
+  let parse_traceparent s =
+    match String.split_on_char '-' (String.trim s) with
+    | version :: trace_id :: span_id :: flags :: rest
+      when String.length version = 2
+           && is_lower_hex version && version <> "ff"
+           && String.length trace_id = 32
+           && is_lower_hex trace_id
+           && not (all_zero trace_id)
+           && String.length span_id = 16
+           && is_lower_hex span_id
+           && not (all_zero span_id)
+           && String.length flags = 2
+           && is_lower_hex flags
+           && (rest = [] || version <> "00") ->
+        Some { trace_id; span_id }
+    | _ -> None
+
+  let format_traceparent c =
+    Printf.sprintf "00-%s-%s-01" c.trace_id c.span_id
+
+  (* Current context, keyed by (domain, systhread). Domain.DLS alone is
+     wrong here: the server runs many systhreads on domain 0, and they
+     would trample one shared slot. The table is only consulted while
+     tracing or the flight recorder is active, so the off path stays one
+     flag check. Entries are removed on scope exit, so the table stays
+     bounded by live (domain, thread) pairs. *)
+  let ctx_table : (int * int, context) Hashtbl.t = Hashtbl.create 64
+
+  let ctx_mutex = Mutex.create ()
+
+  let ctx_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+  let current_context () =
+    if not (active ()) then None
+    else
+      Mutex.protect ctx_mutex (fun () ->
+          Hashtbl.find_opt ctx_table (ctx_key ()))
+
+  let set_current ctx =
+    let k = ctx_key () in
+    Mutex.protect ctx_mutex (fun () ->
+        match ctx with
+        | Some c -> Hashtbl.replace ctx_table k c
+        | None -> Hashtbl.remove ctx_table k)
+
+  let with_context ctx f =
+    if not (active ()) then f ()
+    else begin
+      let prev =
+        Mutex.protect ctx_mutex (fun () ->
+            Hashtbl.find_opt ctx_table (ctx_key ()))
+      in
+      set_current ctx;
+      Fun.protect ~finally:(fun () -> set_current prev) f
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Events and per-domain buffers                                    *)
+
+  type trace_ref = {
+    tr_trace : string;
+    tr_span : string;
+    tr_parent : string option;
+  }
 
   type event = {
     ev_name : string;
@@ -361,23 +569,56 @@ module Trace = struct
     dur : int64;  (* ns; 0 for instants *)
     tid : int;
     ev_attrs : (string * attr) list;
+    ev_trace : trace_ref option;
   }
 
-  (* Per-domain event buffers: every domain appends to its own buffer
-     (registered once in [all_buffers]), so recording is contention-free
-     under Numeric.Parallel fan-out; flush walks all buffers. The
-     registry keeps buffers of joined domains alive. *)
-  type buffer = { tid : int; mutable events : event list }
+  (* Perfetto nests complete events per track (tid); in the server many
+     systhreads share domain 0, so the track id folds the systhread id in
+     to keep concurrently-served requests on separate tracks. *)
+  let current_tid () =
+    ((Domain.self () :> int) * 1000) + Thread.id (Thread.self ())
+
+  (* Per-domain event buffers, each with its own lock: recording is
+     contention-free under Numeric.Parallel fan-out (one domain, one
+     buffer), and safe when several server systhreads share domain 0's
+     buffer. The registry keeps buffers of joined domains alive. When
+     [capacity] is set the buffer drops its oldest event on overflow —
+     a long-lived daemon must not grow without bound. *)
+  type buffer = {
+    tid : int;
+    q : event Queue.t;
+    bm : Mutex.t;
+    mutable b_dropped : int;
+  }
 
   let all_buffers : buffer list ref = ref []
 
   let buffers_mutex = Mutex.create ()
 
+  let capacity : int option ref = ref None
+
+  let set_buffer_capacity c = capacity := c
+
+  let buffer_capacity () = !capacity
+
+  let m_dropped = Metrics.counter "trace.dropped_events"
+
   let buffer_key =
     Domain.DLS.new_key (fun () ->
-        let b = { tid = (Domain.self () :> int); events = [] } in
+        let b =
+          {
+            tid = (Domain.self () :> int);
+            q = Queue.create ();
+            bm = Mutex.create ();
+            b_dropped = 0;
+          }
+        in
         Mutex.protect buffers_mutex (fun () -> all_buffers := b :: !all_buffers);
         b)
+
+  let dropped_events () =
+    Mutex.protect buffers_mutex (fun () ->
+        List.fold_left (fun acc b -> acc + b.b_dropped) 0 !all_buffers)
 
   let t0 = monotonic_ns ()
 
@@ -385,6 +626,8 @@ module Trace = struct
     sp_name : string;
     start : int64;
     mutable sp_attrs : (string * attr) list;
+    sp_ctx : context option;
+    sp_parent : string option;
   }
 
   type span = No_span | Span of open_span
@@ -396,9 +639,25 @@ module Trace = struct
     | No_span -> ()
     | Span sp -> sp.sp_attrs <- (key, v) :: List.remove_assoc key sp.sp_attrs
 
+  (* wired up by [Flight] below, once its rings exist *)
+  let flight_push_ev : (event -> unit) ref = ref (fun _ -> ())
+
   let record ev =
-    let b = Domain.DLS.get buffer_key in
-    b.events <- ev :: b.events
+    if !on then begin
+      let b = Domain.DLS.get buffer_key in
+      let dropped =
+        Mutex.protect b.bm (fun () ->
+            Queue.add ev b.q;
+            match !capacity with
+            | Some cap when Queue.length b.q > cap ->
+                ignore (Queue.pop b.q);
+                b.b_dropped <- b.b_dropped + 1;
+                true
+            | _ -> false)
+      in
+      if dropped then Metrics.incr m_dropped
+    end;
+    if !flight_on then !flight_push_ev ev
 
   let close sp =
     let now = monotonic_ns () in
@@ -408,40 +667,78 @@ module Trace = struct
         ph = "X";
         ts = sp.start;
         dur = Int64.sub now sp.start;
-        tid = (Domain.self () :> int);
+        tid = current_tid ();
         ev_attrs = List.rev sp.sp_attrs;
+        ev_trace =
+          (match sp.sp_ctx with
+          | Some c ->
+              Some
+                {
+                  tr_trace = c.trace_id;
+                  tr_span = c.span_id;
+                  tr_parent = sp.sp_parent;
+                }
+          | None -> None);
       }
 
-  let with_span ?attrs name f =
-    if not !on then f No_span
+  let with_span ?ctx ?attrs name f =
+    if not (active ()) then f No_span
     else begin
+      let ambient =
+        Mutex.protect ctx_mutex (fun () ->
+            Hashtbl.find_opt ctx_table (ctx_key ()))
+      in
+      (* The span's identity: an explicit [?ctx] (the caller minted the
+         ids, e.g. to echo them in a response header), else a child of
+         the ambient context, else no trace linkage (process-global
+         spans, as in the bench drivers). *)
+      let identity =
+        match ctx with
+        | Some _ as c -> c
+        | None -> Option.map child_context ambient
+      in
+      let parent = Option.map (fun a -> a.span_id) ambient in
+      (match identity with Some _ -> set_current identity | None -> ());
       let sp =
         {
           sp_name = name;
           start = monotonic_ns ();
           sp_attrs = (match attrs with Some l -> List.rev l | None -> []);
+          sp_ctx = identity;
+          sp_parent = parent;
         }
+      in
+      let restore () =
+        match identity with Some _ -> set_current ambient | None -> ()
       in
       match f (Span sp) with
       | v ->
           close sp;
+          restore ();
           v
       | exception e ->
           add_attr (Span sp) "exception" (Str (Printexc.to_string e));
           close sp;
+          restore ();
           raise e
     end
 
   let instant ?(attrs = []) name =
-    if !on then
+    if active () then
       record
         {
           ev_name = name;
           ph = "i";
           ts = monotonic_ns ();
           dur = 0L;
-          tid = (Domain.self () :> int);
+          tid = current_tid ();
           ev_attrs = attrs;
+          ev_trace =
+            (match current_context () with
+            | Some c ->
+                Some
+                  { tr_trace = c.trace_id; tr_span = c.span_id; tr_parent = None }
+            | None -> None);
         }
 
   let event_json buf ev =
@@ -456,7 +753,20 @@ module Trace = struct
     (match ev.ph with
     | "i" -> Buffer.add_string buf ", \"s\": \"t\""
     | _ -> ());
-    if ev.ev_attrs <> [] then begin
+    let args =
+      ev.ev_attrs
+      @
+      match ev.ev_trace with
+      | None -> []
+      | Some t ->
+          ("trace_id", Str t.tr_trace)
+          :: ("span_id", Str t.tr_span)
+          ::
+          (match t.tr_parent with
+          | Some p -> [ ("parent_span_id", Str p) ]
+          | None -> [])
+    in
+    if args <> [] then begin
       Buffer.add_string buf ", \"args\": {";
       List.iteri
         (fun i (k, v) ->
@@ -464,22 +774,43 @@ module Trace = struct
             (Printf.sprintf "%s\"%s\": %s"
                (if i = 0 then "" else ", ")
                (json_escape k) (json_attr v)))
-        ev.ev_attrs;
+        args;
       Buffer.add_string buf "}"
     end;
     Buffer.add_string buf "}"
 
-  let flush () =
+  let gather_events () =
+    Mutex.protect buffers_mutex (fun () ->
+        List.concat_map
+          (fun b -> Mutex.protect b.bm (fun () -> List.of_seq (Queue.to_seq b.q)))
+          !all_buffers)
+
+  let drain_events () =
+    Mutex.protect buffers_mutex (fun () ->
+        List.concat_map
+          (fun b ->
+            Mutex.protect b.bm (fun () ->
+                let evs = List.of_seq (Queue.to_seq b.q) in
+                Queue.clear b.q;
+                evs))
+          !all_buffers)
+
+  let clear () =
+    Mutex.protect buffers_mutex (fun () ->
+        List.iter
+          (fun b ->
+            Mutex.protect b.bm (fun () ->
+                Queue.clear b.q;
+                b.b_dropped <- 0))
+          !all_buffers)
+
+  let by_ts a b = Int64.compare a.ts b.ts
+
+  let flush_rewrite () =
     match !output_path with
     | None -> ()
     | Some path ->
-        let events =
-          Mutex.protect buffers_mutex (fun () ->
-              List.concat_map (fun b -> b.events) !all_buffers)
-        in
-        let events =
-          List.sort (fun a b -> Int64.compare a.ts b.ts) events
-        in
+        let events = List.sort by_ts (gather_events ()) in
         let buf = Buffer.create 65536 in
         Buffer.add_string buf "[";
         List.iteri
@@ -490,18 +821,193 @@ module Trace = struct
         Buffer.add_string buf "\n]\n";
         write_file_atomic path (Buffer.contents buf)
 
+  (* Incremental mode, for long-lived daemons: each flush drains the
+     buffers and appends their events to the output file, which starts
+     with "[" and never receives the closing "]" — the Chrome trace
+     array format is explicitly forgiving of a missing terminator, and
+     Perfetto loads such files. This keeps periodic flushing O(new
+     events) instead of O(history). *)
+  let incremental = ref false
+
+  let set_incremental b = incremental := b
+
+  let inc_path : string option ref = ref None
+
+  let inc_written = ref 0
+
+  let flush_incremental () =
+    match !output_path with
+    | None -> ()
+    | Some path ->
+        let fresh = !inc_path <> Some path in
+        if fresh then begin
+          inc_path := Some path;
+          inc_written := 0
+        end;
+        let events = List.sort by_ts (drain_events ()) in
+        if fresh || events <> [] then begin
+          let oc =
+            open_out_gen
+              (if fresh then [ Open_wronly; Open_creat; Open_trunc ]
+               else [ Open_wronly; Open_creat; Open_append ])
+              0o644 path
+          in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              let buf = Buffer.create 65536 in
+              if fresh then Buffer.add_string buf "[";
+              List.iter
+                (fun ev ->
+                  Buffer.add_string buf
+                    (if !inc_written = 0 then "\n" else ",\n");
+                  event_json buf ev;
+                  incr inc_written)
+                events;
+              Buffer.add_string buf "\n";
+              output_string oc (Buffer.contents buf))
+        end
+
+  let flush () = if !incremental then flush_incremental () else flush_rewrite ()
+
   let flush_at_exit_armed = ref false
 
+  (* [set_output (Some path)] starts a fresh recording: previously
+     buffered events are discarded, so a None -> Some cycle cannot leak
+     spans from the earlier recording into the new file (the old
+     behavior silently rewrote that stale superset). *)
   let set_output path =
     output_path := path;
     (match path with
     | Some _ ->
+        clear ();
+        inc_path := None;
+        inc_written := 0;
         on := true;
         if not !flush_at_exit_armed then begin
           flush_at_exit_armed := true;
           at_exit flush
         end
     | None -> on := false)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                    *)
+
+module Flight = struct
+  (* A bounded per-domain ring of the most recent spans, always cheap
+     enough to leave on in a serving daemon: recording a span is one
+     mutex-protected slot store, no growth, no I/O. On a 5xx, a solver
+     that failed to converge, or SIGUSR1 the rings are dumped atomically
+     as a Chrome trace, so the first failure of a long-running process
+     is diagnosable after the fact. *)
+
+  let ring_capacity = 512
+
+  type ring = {
+    slots : Trace.event option array;
+    mutable next : int;  (* total pushes; slot = next mod capacity *)
+    rm : Mutex.t;
+  }
+
+  let all_rings : ring list ref = ref []
+
+  let rings_mutex = Mutex.create ()
+
+  let ring_key =
+    Domain.DLS.new_key (fun () ->
+        let r =
+          { slots = Array.make ring_capacity None; next = 0; rm = Mutex.create () }
+        in
+        Mutex.protect rings_mutex (fun () -> all_rings := r :: !all_rings);
+        r)
+
+  let enabled () = !Trace.flight_on
+
+  let set_enabled b = Trace.flight_on := b
+
+  let out_path = ref "arcade-flight.json"
+
+  let set_path p = out_path := p
+
+  let path () = !out_path
+
+  let push ev =
+    let r = Domain.DLS.get ring_key in
+    Mutex.protect r.rm (fun () ->
+        r.slots.(r.next mod ring_capacity) <- Some ev;
+        r.next <- r.next + 1)
+
+  let () = Trace.flight_push_ev := push
+
+  let clear () =
+    Mutex.protect rings_mutex (fun () ->
+        List.iter
+          (fun r ->
+            Mutex.protect r.rm (fun () ->
+                Array.fill r.slots 0 ring_capacity None;
+                r.next <- 0))
+          !all_rings)
+
+  let dump_total = Atomic.make 0
+
+  let dump_count () = Atomic.get dump_total
+
+  let m_dumps = Metrics.counter "flight.dumps"
+
+  let dump ?(reason = "manual") () =
+    let events =
+      Mutex.protect rings_mutex (fun () ->
+          List.concat_map
+            (fun r ->
+              Mutex.protect r.rm (fun () ->
+                  let n = min r.next ring_capacity in
+                  let first = r.next - n in
+                  List.init n (fun i ->
+                      match r.slots.((first + i) mod ring_capacity) with
+                      | Some ev -> ev
+                      | None -> assert false)))
+            !all_rings)
+    in
+    let marker =
+      {
+        Trace.ev_name = "flight.dump";
+        ph = "i";
+        ts = monotonic_ns ();
+        dur = 0L;
+        tid = Trace.current_tid ();
+        ev_attrs = [ ("reason", Str reason) ];
+        ev_trace = None;
+      }
+    in
+    let events = List.sort Trace.by_ts events @ [ marker ] in
+    let buf = Buffer.create 65536 in
+    Buffer.add_string buf "[";
+    List.iteri
+      (fun i ev ->
+        Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+        Trace.event_json buf ev)
+      events;
+    Buffer.add_string buf "\n]\n";
+    write_file_atomic !out_path (Buffer.contents buf);
+    ignore (Atomic.fetch_and_add dump_total 1 : int);
+    Metrics.incr m_dumps
+
+  let () =
+    Metrics.nonconverged_hook :=
+      fun () -> if enabled () then dump ~reason:"solver_nonconvergence" ()
+
+  (* SIGUSR1 only sets a flag: dumping takes locks and allocates, which a
+     signal handler interrupting a lock holder must not do. Something
+     periodic (the server's housekeeping thread) calls [poll]. *)
+  let requested = Atomic.make false
+
+  let request_dump () = Atomic.set requested true
+
+  let poll () = if Atomic.exchange requested false then dump ~reason:"sigusr1" ()
+
+  let arm_sigusr1 () =
+    Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> request_dump ()))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -512,9 +1018,27 @@ let initialized = ref false
 let init () =
   if not !initialized then begin
     initialized := true;
+    (match Sys.getenv_opt "OBS_TRACE_BUFFER" with
+    | None | Some "" -> ()
+    | Some ("unbounded" | "0") -> Trace.set_buffer_capacity None
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n when n >= 1 -> Trace.set_buffer_capacity (Some n)
+        | Some _ | None ->
+            Printf.eprintf
+              "warning: ignoring OBS_TRACE_BUFFER=%S: expected a positive \
+               integer, \"unbounded\" or \"0\"\n\
+               %!"
+              v));
     (match Sys.getenv_opt "OBS_TRACE" with
     | Some path when path <> "" && path <> "0" -> Trace.set_output (Some path)
     | Some _ | None -> ());
+    (match Sys.getenv_opt "OBS_FLIGHT" with
+    | None | Some "" | Some "0" -> ()
+    | Some ("1" | "true" | "yes") -> Flight.set_enabled true
+    | Some path ->
+        Flight.set_path path;
+        Flight.set_enabled true);
     match Sys.getenv_opt "OBS_METRICS" with
     | Some ("" | "0") | None -> ()
     | Some ("1" | "true" | "yes") ->

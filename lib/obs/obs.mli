@@ -1,23 +1,29 @@
-(** Observability: span tracing, a metrics registry, and solver telemetry.
+(** Observability: span tracing, a metrics registry, solver telemetry and
+    a flight recorder.
 
     The numeric pipelines behind the paper's artifacts — uniformization
     sweeps, Fox–Glynn windows, Gauss–Seidel/Jacobi solves, lumping — are
-    instrumented through this layer. It has two independent sinks:
+    instrumented through this layer. It has three sinks:
 
     - {!Trace}: nestable, monotonic-clock timed spans with key/value
-      attributes, buffered per-domain (safe under {!Numeric.Parallel}
-      fan-out) and flushed as Chrome trace-event JSON, loadable in
-      Perfetto / [chrome://tracing].
+      attributes and optional W3C trace-context linkage, buffered
+      per-domain (safe under {!Numeric.Parallel} fan-out and under the
+      server's systhreads) and flushed as Chrome trace-event JSON,
+      loadable in Perfetto / [chrome://tracing].
     - {!Metrics}: named counters, gauges and fixed-bucket histograms with
       O(1) lock-free updates, plus a bounded ring of recent solver-
       convergence events; dumped with {!Metrics.snapshot} / {!Metrics.pp}
-      / {!Metrics.to_json}.
+      / {!Metrics.to_json} / {!Metrics.to_prometheus}.
+    - {!Flight}: an always-cheap bounded ring of recent spans, dumped as
+      a Chrome trace on failure (5xx, solver non-convergence, SIGUSR1)
+      for after-the-fact diagnosis in long-running daemons.
 
-    Both sinks are {e disabled by default} and effectively free when off:
-    every record site reduces to a single flag check and performs no
-    allocation. Enable them programmatically ({!Trace.set_output},
-    {!Metrics.set_enabled}) or through the environment via {!init}
-    ([OBS_TRACE=<file>], [OBS_METRICS=1|<file>]). *)
+    {!Trace} and {!Metrics} are {e disabled by default} and effectively
+    free when off: every record site reduces to a single flag check and
+    performs no allocation. Enable them programmatically
+    ({!Trace.set_output}, {!Metrics.set_enabled}, {!Flight.set_enabled})
+    or through the environment via {!init} ([OBS_TRACE=<file>],
+    [OBS_METRICS=1|<file>], [OBS_TRACE_BUFFER=<n>], [OBS_FLIGHT=<file>]). *)
 
 type attr =
   | Int of int
@@ -45,10 +51,14 @@ val init : unit -> unit
 
     - [OBS_TRACE=<file>]: enable tracing; the trace is flushed to [<file>]
       at process exit (and on every explicit {!Trace.flush}).
+    - [OBS_TRACE_BUFFER=<n>]: bound each domain's trace buffer to [n]
+      events (drop-oldest); ["unbounded"] or ["0"] keeps full retention.
     - [OBS_METRICS=1] (or [true]/[yes]): enable metrics; the snapshot is
       pretty-printed to stderr at exit.
     - [OBS_METRICS=<file>]: enable metrics; the snapshot is written to
       [<file>] as JSON at exit.
+    - [OBS_FLIGHT=<file>] (or [1]): enable the flight recorder, dumping
+      to [<file>] (default [arcade-flight.json]).
 
     Binaries call this once at startup; libraries never do. *)
 
@@ -87,6 +97,9 @@ module Metrics : sig
 
   val set_gauge : gauge -> float -> unit
 
+  val gauge_value : gauge -> float
+  (** Current value (reads ignore the enabled flag). *)
+
   type histogram
 
   val histogram : ?buckets:float array -> string -> histogram
@@ -95,6 +108,13 @@ module Metrics : sig
       default is a log-spaced decade grid from [1e-16] to [1e6] suited to
       residuals, window widths and iteration counts alike. [buckets] is
       ignored when the name is already registered. *)
+
+  val default_buckets : float array
+  (** The decade grid used when [?buckets] is omitted. *)
+
+  val latency_ms_buckets : float array
+  (** A latency-shaped grid (0.25 ms to ~8 s, powers of two) for request
+      and query timings in milliseconds. *)
 
   val observe : histogram -> float -> unit
 
@@ -105,7 +125,9 @@ module Metrics : sig
       ([solver.<name>.solves], [.iterations], [.last_residual],
       [.residual] histogram) and a bounded ring of the most recent
       individual events, so a snapshot shows the final residual and
-      iteration count of every recent steady-state solve. *)
+      iteration count of every recent steady-state solve. A solve with
+      [converged:false] also triggers a {!Flight} dump when the flight
+      recorder is enabled. *)
 
   type solve = {
     solver : string;  (** e.g. ["gauss_seidel"], ["power_iteration"] *)
@@ -147,6 +169,15 @@ module Metrics : sig
   (** The snapshot as one JSON object with [counters], [gauges],
       [histograms] and [solves] members. *)
 
+  val to_prometheus : snapshot -> string
+  (** The snapshot in Prometheus text exposition format 0.0.4. Every
+      family is prefixed [arcade_] and sanitized ([[^a-zA-Z0-9_:]] maps
+      to [_]); counters gain the [_total] suffix; histograms emit
+      cumulative [_bucket{le="..."}] lines ending in [le="+Inf"], plus
+      [_sum] and [_count]. When sanitization collides two registry names
+      the first (alphabetical) wins and the later family is skipped, so
+      no family is emitted twice. The solve ring is JSON-only. *)
+
   val reset : unit -> unit
   (** Zero every instrument and clear the solve ring, keeping
       registrations. Meant for tests and for delta measurements. *)
@@ -159,8 +190,47 @@ module Trace : sig
 
   val set_output : string option -> unit
   (** [set_output (Some path)] enables tracing and arms an at-exit flush
-      to [path]; [set_output None] disables tracing (buffered events are
-      kept until the next flush). *)
+      to [path], discarding any events buffered for a previous output so
+      the new recording starts clean; [set_output None] disables
+      tracing. *)
+
+  (** {2 W3C trace-context}
+
+      Requests carry a trace identity across process boundaries via the
+      W3C [traceparent] header
+      ([00-<32 hex trace id>-<16 hex span id>-<2 hex flags>]). Within a
+      process the current context is scoped per (domain, systhread) and
+      propagated by {!with_context} / {!with_span};
+      {!Numeric.Parallel.Pool} re-installs the submitter's context in its
+      workers, so spans recorded on a pool domain still join the
+      submitting request's trace. *)
+
+  type context = { trace_id : string; span_id : string }
+
+  val new_context : unit -> context
+  (** Fresh random trace and span ids (lowercase hex, never all-zero). *)
+
+  val child_context : context -> context
+  (** Same trace id, fresh span id. *)
+
+  val parse_traceparent : string -> context option
+  (** Parse a [traceparent] header value. Returns [None] on malformed
+      input: wrong field lengths, non-lowercase hex, all-zero trace or
+      span id, version [ff], or trailing fields under version [00]
+      (later versions with trailing fields are accepted). *)
+
+  val format_traceparent : context -> string
+  (** [00-<trace_id>-<span_id>-01]. *)
+
+  val current_context : unit -> context option
+  (** The context installed for this (domain, systhread), if any. [None]
+      whenever tracing and the flight recorder are both off. *)
+
+  val with_context : context option -> (unit -> 'a) -> 'a
+  (** Install (or clear, with [None]) the current context around a
+      callback, restoring the previous one afterwards. *)
+
+  (** {2 Spans} *)
 
   type span
   (** An open span. When tracing is disabled this is a weightless dummy:
@@ -170,23 +240,97 @@ module Trace : sig
   (** [true] when the span is live — guard attribute construction with
       this to keep disabled call sites allocation-free. *)
 
-  val with_span : ?attrs:(string * attr) list -> string -> (span -> 'a) -> 'a
+  val with_span :
+    ?ctx:context -> ?attrs:(string * attr) list -> string -> (span -> 'a) -> 'a
   (** [with_span name f] times [f] under a span named [name]. Spans nest
       with the call stack; each domain buffers its own spans, so spans
       opened inside {!Numeric.Parallel} workers land on that worker's
       Chrome-trace track. The span is closed (and recorded) even when [f]
       raises. When tracing is disabled, [f] runs with a dummy span and
-      nothing is recorded or allocated. *)
+      nothing is recorded or allocated.
+
+      Trace linkage: with [?ctx] the span takes that exact identity (the
+      caller minted the ids, e.g. a server echoing them in a response
+      header) and the ambient context becomes its parent; without [?ctx]
+      the span becomes a child of the ambient context when one is
+      installed, and carries no trace ids otherwise. The span's context
+      is the ambient context for the duration of [f]. *)
 
   val add_attr : span -> string -> attr -> unit
   (** Attach/overwrite an attribute on an open span; no-op on a dummy. *)
 
   val instant : ?attrs:(string * attr) list -> string -> unit
-  (** A zero-duration instant event (Chrome phase ["i"]). *)
+  (** A zero-duration instant event (Chrome phase ["i"]), tagged with the
+      ambient context when one is installed. *)
+
+  (** {2 Buffers and flushing} *)
+
+  val set_buffer_capacity : int option -> unit
+  (** Bound every per-domain buffer to the given number of events; on
+      overflow the oldest event is dropped and the
+      [trace.dropped_events] counter bumped. [None] (the default)
+      retains everything — right for short-lived binaries, wrong for
+      daemons. *)
+
+  val buffer_capacity : unit -> int option
+
+  val dropped_events : unit -> int
+  (** Total events dropped to capacity bounds since the last {!clear}. *)
+
+  val clear : unit -> unit
+  (** Discard all buffered events and reset the dropped count. Meant for
+      tests. *)
+
+  val set_incremental : bool -> unit
+  (** In incremental mode each {!flush} {e drains} the buffers and
+      appends the drained events to the output file (which is left
+      without its closing bracket — the Chrome trace array format
+      tolerates this and Perfetto loads it). Flushing stays O(new
+      events), which is what a daemon's periodic flush needs. The
+      default mode rewrites the full buffered history each time. *)
 
   val flush : unit -> unit
-  (** Write all events recorded so far to the {!set_output} path as a
-      Chrome trace-event JSON array (atomically: temp file + rename).
-      Events stay buffered, so later flushes rewrite a superset. No-op
+  (** Write buffered events to the {!set_output} path as Chrome
+      trace-event JSON. In the default mode the file is rewritten
+      atomically (temp file + rename) with everything currently
+      buffered; in incremental mode drained events are appended. No-op
       when no output path is set. *)
+end
+
+(** {1 Flight recorder} *)
+
+module Flight : sig
+  val enabled : unit -> bool
+
+  val set_enabled : bool -> unit
+  (** When enabled, every closed span and instant is also stored in a
+      bounded per-domain ring (newest overwrite oldest), independent of
+      whether file tracing is on. Recording is one lock-protected array
+      store — cheap enough to leave on in a serving daemon. *)
+
+  val set_path : string -> unit
+  (** Where {!dump} writes; default [arcade-flight.json]. *)
+
+  val path : unit -> string
+
+  val dump : ?reason:string -> unit -> unit
+  (** Atomically write the ring contents (all domains, sorted, plus a
+      [flight.dump] marker carrying [reason]) as a Chrome trace to
+      {!path}. Bumps the [flight.dumps] counter. *)
+
+  val dump_count : unit -> int
+  (** Number of dumps performed by this process. *)
+
+  val request_dump : unit -> unit
+  (** Ask for a dump from an async-signal context: only sets a flag. *)
+
+  val poll : unit -> unit
+  (** Perform a dump if one was {!request_dump}ed. Called periodically
+      by the server's housekeeping thread. *)
+
+  val arm_sigusr1 : unit -> unit
+  (** Install a SIGUSR1 handler that calls {!request_dump}. *)
+
+  val clear : unit -> unit
+  (** Empty the rings. Meant for tests. *)
 end

@@ -154,14 +154,19 @@ let write_all fd s =
   in
   go 0
 
-let write_response ?(content_type = "application/json") ?(keep_alive = true) fd
-    ~status ~body =
+let write_response ?(content_type = "application/json") ?(keep_alive = true)
+    ?(headers = []) fd ~status ~body =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+  in
   let head =
     Printf.sprintf
       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
-       Connection: %s\r\n\r\n"
+       Connection: %s\r\n%s\r\n"
       status (reason status) content_type (String.length body)
       (if keep_alive then "keep-alive" else "close")
+      extra
   in
   write_all fd (head ^ body)
 
@@ -217,23 +222,33 @@ let read_response c =
             | Some _ | None -> raise (Bad_request "invalid Content-Length"))
         | None -> ""
       in
-      (status, body)
+      (status, headers, body)
 
-let call_on ?(close_after = false) cl ~meth ~path ?(body = "") () =
+let call_full ?(close_after = false) ?(headers = []) cl ~meth ~path
+    ?(body = "") () =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+  in
   let head =
     Printf.sprintf
       "%s %s HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\n\
-       Content-Length: %d\r\nConnection: %s\r\n\r\n"
+       Content-Length: %d\r\nConnection: %s\r\n%s\r\n"
       meth path cl.host (String.length body)
       (if close_after then "close" else "keep-alive")
+      extra
   in
   write_all cl.c.fd (head ^ body);
   read_response cl.c
 
-let call cl ~meth ~path ?body () = call_on cl ~meth ~path ?body ()
+let call_on ?close_after ?headers cl ~meth ~path ?body () =
+  let status, _, body = call_full ?close_after ?headers cl ~meth ~path ?body () in
+  (status, body)
 
-let request ~host ~port ~meth ~path ?body () =
+let call ?headers cl ~meth ~path ?body () = call_on ?headers cl ~meth ~path ?body ()
+
+let request ?headers ~host ~port ~meth ~path ?body () =
   let cl = connect ~host ~port in
   Fun.protect
     ~finally:(fun () -> close cl)
-    (fun () -> call_on ~close_after:true cl ~meth ~path ?body ())
+    (fun () -> call_on ~close_after:true ?headers cl ~meth ~path ?body ())

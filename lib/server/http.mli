@@ -45,12 +45,14 @@ val read_request : conn -> request option
 val write_response :
   ?content_type:string ->
   ?keep_alive:bool ->
+  ?headers:(string * string) list ->
   Unix.file_descr ->
   status:int ->
   body:string ->
   unit
 (** Write a complete response ([content_type] defaults to
-    ["application/json"], [keep_alive] to [true]). *)
+    ["application/json"], [keep_alive] to [true]; [headers] are extra
+    response headers, e.g. the echoed [traceparent]). *)
 
 val reason : int -> string
 (** Standard reason phrase for a status code. *)
@@ -68,12 +70,32 @@ val connect : host:string -> port:int -> client
 val close : client -> unit
 
 val call :
-  client -> meth:string -> path:string -> ?body:string -> unit -> int * string
+  ?headers:(string * string) list ->
+  client ->
+  meth:string ->
+  path:string ->
+  ?body:string ->
+  unit ->
+  int * string
 (** One round trip on the persistent connection; returns
-    [(status, body)]. Raises {!Bad_request} on an unparsable response and
+    [(status, body)]. [headers] are extra request headers (e.g.
+    [traceparent]). Raises {!Bad_request} on an unparsable response and
     [Unix.Unix_error] / [End_of_file] on transport failures. *)
 
+val call_full :
+  ?close_after:bool ->
+  ?headers:(string * string) list ->
+  client ->
+  meth:string ->
+  path:string ->
+  ?body:string ->
+  unit ->
+  int * (string * string) list * string
+(** Like {!call} but also returns the response headers (names
+    lowercased), for callers that need e.g. the echoed [traceparent]. *)
+
 val request :
+  ?headers:(string * string) list ->
   host:string ->
   port:int ->
   meth:string ->

@@ -73,6 +73,64 @@ let make_counters () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Per-endpoint / per-query-kind telemetry                            *)
+
+(* registration is idempotent and cheap, so these resolve per call *)
+let h_endpoint_latency endpoint =
+  Obs.Metrics.histogram
+    ~buckets:Obs.Metrics.latency_ms_buckets
+    ("server.latency_ms." ^ endpoint)
+
+let h_query_latency kind =
+  Obs.Metrics.histogram
+    ~buckets:Obs.Metrics.latency_ms_buckets
+    ("server.query_ms." ^ kind)
+
+let c_query_kind kind = Obs.Metrics.counter ("server.queries." ^ kind)
+
+let query_kind (ast : Ast.state_formula) =
+  match ast with
+  | Ast.P (_, Ast.Next _) -> "next"
+  | Ast.P (_, (Ast.Until _ | Ast.Eventually _ | Ast.Globally _)) -> "until"
+  | Ast.S _ -> "steady"
+  | Ast.R (_, _, Ast.Instantaneous _) -> "reward_inst"
+  | Ast.R (_, _, Ast.Cumulative _) -> "reward_cumul"
+  | Ast.R (_, _, Ast.Steady) -> "reward_steady"
+  | Ast.True | Ast.False | Ast.Label _ | Ast.Atomic _ | Ast.Not _ | Ast.And _
+  | Ast.Or _ | Ast.Implies _ ->
+      "boolean"
+
+let endpoint_label ~meth ~path =
+  match (meth, path) with
+  | "GET", "/health" -> "health"
+  | "GET", "/stats" -> "stats"
+  | "GET", "/metrics" -> "metrics"
+  | "POST", "/shutdown" -> "shutdown"
+  | "POST", "/analyze" -> "analyze"
+  | _ -> "other"
+
+(* What the access log and the root span want to know about a request;
+   filled in as handling progresses. *)
+type req_meta = {
+  mutable m_status : int;
+  mutable m_hash : string option;
+  mutable m_session : string option;
+  mutable m_coalesced : int;
+  mutable m_queries : int;
+  mutable m_kinds : string list;
+}
+
+let fresh_meta () =
+  {
+    m_status = 0;
+    m_hash = None;
+    m_session = None;
+    m_coalesced = 0;
+    m_queries = 0;
+    m_kinds = [];
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Sessions                                                           *)
 
 type session = {
@@ -87,9 +145,16 @@ type job = {
   j_lump : bool;
   j_hash : int64;
   j_queries : (string * Ast.state_formula) list;
+  j_ctx : Obs.Trace.context option;
+      (** the submitting request's trace context; the scheduler re-installs
+          it around the group evaluation so coalesced sweeps join the lead
+          request's trace *)
   jm : Mutex.t;
   jc : Condition.t;
   mutable j_result : (int * Json.t) option;
+  mutable j_session : string;  (** "hit" / "miss" / "coalesced"; set before
+                                   [finish_job], read after [await_job] *)
+  mutable j_coalesced : int;
 }
 
 type t = {
@@ -106,8 +171,12 @@ type t = {
   mutable clock : int;
   cm : Mutex.t;
   c : counters;
+  access_log : (out_channel * bool) option;
+      (** [(channel, close_at_stop)], from [OBS_ACCESS_LOG] *)
+  al_mutex : Mutex.t;
   mutable accept_thread : Thread.t option;
   mutable sched_thread : Thread.t option;
+  mutable house_thread : Thread.t option;
 }
 
 let port t = t.bound_port
@@ -345,6 +414,8 @@ let eval_single srv session slot =
   in
   slot.answers.(slot.idx) <- Some answer
 
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+
 (* Evaluate every query of every job in a same-model group: batchable
    queries are grouped by plan key and each group costs one sweep. *)
 let eval_jobs srv session jobs_with_answers =
@@ -377,9 +448,20 @@ let eval_jobs srv session jobs_with_answers =
       let group = List.rev (Hashtbl.find groups key) in
       bump srv.c.batch_groups;
       bump ~n:(List.length group) srv.c.batched_queries;
-      eval_group srv session key group)
+      let kind = match key with K_until _ -> "until" | K_reward _ -> "reward" in
+      let t0 = Obs.monotonic_ns () in
+      eval_group srv session key group;
+      Obs.Metrics.observe (h_query_latency kind)
+        (ns_to_ms (Int64.sub (Obs.monotonic_ns ()) t0)))
     (List.rev !group_order);
-  List.iter (eval_single srv session) (List.rev !singles)
+  List.iter
+    (fun slot ->
+      let t0 = Obs.monotonic_ns () in
+      eval_single srv session slot;
+      Obs.Metrics.observe
+        (h_query_latency (query_kind slot.ast))
+        (ns_to_ms (Int64.sub (Obs.monotonic_ns ()) t0)))
+    (List.rev !singles)
 
 (* ------------------------------------------------------------------ *)
 (* Jobs and the batching scheduler                                    *)
@@ -398,10 +480,29 @@ let await_job job =
 
 let hash_hex h = Printf.sprintf "%016Lx" h
 
+(* The whole group evaluation runs under the lead job's trace context, so
+   the shared sweep spans (which may execute on a pool domain) join the
+   lead request's trace; the other coalesced requests are listed on the
+   group span. *)
 let process_group srv jobs =
   let j0 = List.hd jobs in
   let coalesced = List.length jobs in
-  match get_session srv ~src:j0.j_src ~lump:j0.j_lump with
+  List.iter (fun j -> j.j_coalesced <- coalesced) jobs;
+  Obs.Trace.with_context j0.j_ctx @@ fun () ->
+  Obs.Trace.with_span "server.process_group"
+    ~attrs:
+      [
+        ("model_hash", Obs.Str (hash_hex j0.j_hash));
+        ("coalesced", Obs.Int coalesced);
+      ]
+  @@ fun pg_span ->
+  match
+    Obs.Trace.with_span "server.session" @@ fun s_span ->
+    let (_, was_cached) as r = get_session srv ~src:j0.j_src ~lump:j0.j_lump in
+    if Obs.Trace.recording s_span then
+      Obs.Trace.add_attr s_span "cached" (Obs.Bool was_cached);
+    r
+  with
   | exception e ->
       let msg =
         match e with
@@ -414,6 +515,7 @@ let process_group srv jobs =
       bump ~n:coalesced srv.c.rejected;
       List.iter
         (fun job ->
+          job.j_session <- "rejected";
           finish_job job 422
             (Json.Obj
                [
@@ -450,11 +552,26 @@ let process_group srv jobs =
         Ctmc.Chain.states
           (Core.Measures.built session.measures).Core.Semantics.chain
       in
+      if Obs.Trace.recording pg_span then begin
+        Obs.Trace.add_attr pg_span "session"
+          (Obs.Str (if was_cached then "hit" else "miss"));
+        Obs.Trace.add_attr pg_span "states" (Obs.Int states);
+        (* accuracy attrs: worst Fox–Glynn truncation error and last
+           solver residual observed by the work this group just ran *)
+        Obs.Trace.add_attr pg_span "fg_mass_deficit"
+          (Obs.Float
+             (Obs.Metrics.gauge_value
+                (Obs.Metrics.gauge "analysis.fg_mass_deficit")));
+        Obs.Trace.add_attr pg_span "solver_residual"
+          (Obs.Float
+             (Obs.Metrics.gauge_value (Obs.Metrics.gauge "solver.last_residual")))
+      end;
       List.iteri
         (fun i (job, answers) ->
           let session_tag =
             if was_cached then "hit" else if i = 0 then "miss" else "coalesced"
           in
+          job.j_session <- session_tag;
           let results =
             Array.to_list
               (Array.map
@@ -616,13 +733,18 @@ let stats_json srv =
     ]
 
 (* Admission: JSON decode, lint pre-flight, query parse — all before any
-   state-space work; failures answer 4xx with positioned diagnostics. *)
-let handle_analyze srv fd req ~keep_alive =
+   state-space work; failures answer 4xx with positioned diagnostics.
+   Runs inside the request's root span, so the admission/lint/parse spans
+   and the enqueued job all carry the request's trace context. *)
+let handle_analyze srv req ~(respond_json : status:int -> Json.t -> unit)
+    ~(meta : req_meta) =
   let reject status json =
     bump srv.c.rejected;
-    json_response ~keep_alive fd ~status json
+    respond_json ~status json
   in
-  match Json.parse req.Http.body with
+  match
+    Obs.Trace.with_span "server.decode" @@ fun _ -> Json.parse req.Http.body
+  with
   | exception Json.Parse_error msg ->
       reject 400 (Json.Obj [ ("error", Str ("invalid JSON: " ^ msg)) ])
   | body -> (
@@ -653,7 +775,15 @@ let handle_analyze srv fd req ~keep_alive =
       | _, _, None ->
           reject 400 (Json.Obj [ ("error", Str "\"lump\" must be a boolean") ])
       | Some src, Some queries, Some lump -> (
-          let diags = Lint.lint_string src in
+          meta.m_hash <- Some (hash_hex (model_hash ~src ~lump));
+          let diags =
+            Obs.Trace.with_span "server.lint" @@ fun l_span ->
+            let diags = Lint.lint_string src in
+            if Obs.Trace.recording l_span then
+              Obs.Trace.add_attr l_span "diagnostics"
+                (Obs.Int (List.length diags));
+            diags
+          in
           if Lint.has_errors diags then
             reject 422
               (Json.Obj
@@ -663,6 +793,7 @@ let handle_analyze srv fd req ~keep_alive =
                  ])
           else
             let parsed =
+              Obs.Trace.with_span "server.parse_queries" @@ fun _ ->
               List.mapi
                 (fun i q ->
                   match Csl.Parser.parse q with
@@ -690,15 +821,22 @@ let handle_analyze srv fd req ~keep_alive =
                 let j_queries =
                   List.map (function Ok qa -> qa | Error _ -> assert false) parsed
                 in
+                let kinds = List.map (fun (_, ast) -> query_kind ast) j_queries in
+                List.iter (fun k -> Obs.Metrics.incr (c_query_kind k)) kinds;
+                meta.m_queries <- List.length j_queries;
+                meta.m_kinds <- List.sort_uniq compare kinds;
                 let job =
                   {
                     j_src = src;
                     j_lump = lump;
                     j_hash = model_hash ~src ~lump;
                     j_queries;
+                    j_ctx = Obs.Trace.current_context ();
                     jm = Mutex.create ();
                     jc = Condition.create ();
                     j_result = None;
+                    j_session = "";
+                    j_coalesced = 0;
                   }
                 in
                 let admitted =
@@ -711,13 +849,15 @@ let handle_analyze srv fd req ~keep_alive =
                       else false)
                 in
                 if not admitted then
-                  json_response ~keep_alive fd ~status:503
+                  respond_json ~status:503
                     (Json.Obj [ ("error", Str "server is shutting down") ])
                 else begin
                   bump srv.c.requests;
                   bump ~n:(List.length j_queries) srv.c.queries;
                   let status, body = await_job job in
-                  json_response ~keep_alive fd ~status body
+                  if job.j_session <> "" then meta.m_session <- Some job.j_session;
+                  meta.m_coalesced <- job.j_coalesced;
+                  respond_json ~status body
                 end)))
 
 let rec initiate_stop srv =
@@ -742,33 +882,170 @@ let rec initiate_stop srv =
       try Unix.close fd with Unix.Unix_error _ -> ()
     with Unix.Unix_error _ -> ()
 
+and contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* One-line structured JSON access log, behind OBS_ACCESS_LOG. *)
+and write_access_log srv ~(req : Http.request) ~(meta : req_meta) ~trace_id
+    ~latency_ms =
+  match srv.access_log with
+  | None -> ()
+  | Some (oc, _) ->
+      let line =
+        Json.to_string
+          (Json.Obj
+             (List.concat
+                [
+                  [
+                    ("ts", Json.num (Unix.gettimeofday ()));
+                    ("method", Json.Str req.Http.meth);
+                    ("path", Json.Str req.Http.path);
+                    ("status", Json.num (float_of_int meta.m_status));
+                    ("latency_ms", Json.num latency_ms);
+                    ("trace_id", Json.Str trace_id);
+                  ];
+                  (match meta.m_hash with
+                  | Some h -> [ ("model_hash", Json.Str h) ]
+                  | None -> []);
+                  (match meta.m_session with
+                  | Some s -> [ ("session", Json.Str s) ]
+                  | None -> []);
+                  (if meta.m_coalesced > 0 then
+                     [ ("coalesced", Json.num (float_of_int meta.m_coalesced)) ]
+                   else []);
+                  (if meta.m_queries > 0 then
+                     [
+                       ("queries", Json.num (float_of_int meta.m_queries));
+                       ( "query_kinds",
+                         Json.List (List.map (fun k -> Json.Str k) meta.m_kinds)
+                       );
+                     ]
+                   else []);
+                ]))
+      in
+      Mutex.protect srv.al_mutex (fun () ->
+          try
+            output_string oc (line ^ "\n");
+            flush oc
+          with Sys_error _ -> ())
+
 and handle_request srv fd req =
   let keep_alive = not (Http.wants_close req) in
-  match (req.Http.meth, req.Http.path) with
-  | "GET", "/health" ->
-      json_response ~keep_alive fd ~status:200
-        (Json.Obj [ ("status", Str "ok") ]);
-      keep_alive
-  | "GET", "/stats" ->
-      json_response ~keep_alive fd ~status:200 (stats_json srv);
-      keep_alive
-  | "GET", "/metrics" ->
-      Http.write_response ~keep_alive fd ~status:200
-        ~body:(Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
-      keep_alive
-  | "POST", "/shutdown" ->
-      json_response ~keep_alive:false fd ~status:200
-        (Json.Obj [ ("status", Str "shutting down") ]);
-      initiate_stop srv;
-      false
-  | "POST", "/analyze" ->
-      handle_analyze srv fd req ~keep_alive;
-      keep_alive
-  | _, path ->
-      bump srv.c.rejected;
-      json_response ~keep_alive fd ~status:404
-        (Json.Obj [ ("error", Str ("no such endpoint: " ^ path)) ]);
-      keep_alive
+  let t_start = Obs.monotonic_ns () in
+  let path_only =
+    match String.index_opt req.Http.path '?' with
+    | Some i -> String.sub req.Http.path 0 i
+    | None -> req.Http.path
+  in
+  let endpoint = endpoint_label ~meth:req.Http.meth ~path:path_only in
+  (* accept the client's traceparent (malformed values are ignored per
+     the W3C spec), root this request as a child of it, and echo the
+     request's own identity back in the response header *)
+  let client_ctx =
+    Option.bind (Http.header req "traceparent") Obs.Trace.parse_traceparent
+  in
+  let ctx =
+    match client_ctx with
+    | Some c -> Obs.Trace.child_context c
+    | None -> Obs.Trace.new_context ()
+  in
+  let tp = ("traceparent", Obs.Trace.format_traceparent ctx) in
+  let meta = fresh_meta () in
+  let respond ?(keep_alive = keep_alive) ?content_type ~status body =
+    meta.m_status <- status;
+    Http.write_response ?content_type ~keep_alive ~headers:[ tp ] fd ~status
+      ~body
+  in
+  let respond_json ?keep_alive ~status json =
+    respond ?keep_alive ~status (Json.to_string json)
+  in
+  let keep =
+    Obs.Trace.with_context client_ctx @@ fun () ->
+    Obs.Trace.with_span ~ctx "server.request"
+      ~attrs:
+        [
+          ("method", Obs.Str req.Http.meth);
+          ("path", Obs.Str req.Http.path);
+          ("endpoint", Obs.Str endpoint);
+        ]
+    @@ fun span ->
+    let keep =
+      try
+        match (req.Http.meth, path_only) with
+        | "GET", "/health" ->
+            respond_json ~status:200 (Json.Obj [ ("status", Str "ok") ]);
+            keep_alive
+        | "GET", "/stats" ->
+            respond_json ~status:200 (stats_json srv);
+            keep_alive
+        | "GET", "/metrics" ->
+            let accept = Option.value (Http.header req "accept") ~default:"" in
+            let want_prometheus =
+              contains_substring accept "text/plain"
+              || contains_substring req.Http.path "format=prometheus"
+            in
+            let snap = Obs.Metrics.snapshot () in
+            if want_prometheus then
+              respond
+                ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+                ~status:200
+                (Obs.Metrics.to_prometheus snap)
+            else respond ~status:200 (Obs.Metrics.to_json snap);
+            keep_alive
+        | "POST", "/shutdown" ->
+            respond_json ~keep_alive:false ~status:200
+              (Json.Obj [ ("status", Str "shutting down") ]);
+            initiate_stop srv;
+            false
+        | "POST", "/analyze" ->
+            handle_analyze srv req ~respond_json:(respond_json ?keep_alive:None)
+              ~meta;
+            keep_alive
+        | _, path ->
+            bump srv.c.rejected;
+            respond_json ~status:404
+              (Json.Obj [ ("error", Str ("no such endpoint: " ^ path)) ]);
+            keep_alive
+      with
+      | (Unix.Unix_error _ | Sys_error _ | End_of_file) as e ->
+          (* transport failure: nothing sensible left to write *)
+          raise e
+      | e ->
+          (* unexpected handler failure: answer 500 instead of dropping
+             the connection; the flight dump below preserves the spans *)
+          (try
+             respond_json ~keep_alive:false ~status:500
+               (Json.Obj
+                  [ ("error", Str ("internal error: " ^ Printexc.to_string e)) ])
+           with Unix.Unix_error _ | Sys_error _ -> ());
+          false
+    in
+    if Obs.Trace.recording span then begin
+      Obs.Trace.add_attr span "status" (Obs.Int meta.m_status);
+      (match meta.m_session with
+      | Some s -> Obs.Trace.add_attr span "session" (Obs.Str s)
+      | None -> ());
+      if meta.m_coalesced > 0 then
+        Obs.Trace.add_attr span "coalesced" (Obs.Int meta.m_coalesced);
+      if meta.m_queries > 0 then
+        Obs.Trace.add_attr span "queries" (Obs.Int meta.m_queries)
+    end;
+    keep
+  in
+  let latency_ms = ns_to_ms (Int64.sub (Obs.monotonic_ns ()) t_start) in
+  Obs.Metrics.observe (h_endpoint_latency endpoint) latency_ms;
+  write_access_log srv ~req ~meta ~trace_id:ctx.Obs.Trace.trace_id ~latency_ms;
+  (* post-mortem evidence for failed requests: 5xx always, and 422 —
+     a model rejected mid-load is exactly the "what was the daemon doing"
+     case the flight recorder exists for *)
+  if (meta.m_status >= 500 || meta.m_status = 422) && Obs.Flight.enabled ()
+  then
+    Obs.Flight.dump
+      ~reason:(Printf.sprintf "http_%d %s" meta.m_status req.Http.path)
+      ();
+  keep
 
 let handle_conn srv fd =
   let c = Http.conn fd in
@@ -812,11 +1089,43 @@ let accept_loop srv =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                          *)
 
+(* Low-duty-cycle background thread: services SIGUSR1 flight-dump
+   requests (the handler only sets a flag — dumping from a signal
+   handler is unsafe) and periodically flushes the trace so a crash
+   loses at most a few seconds of spans. *)
+let housekeeping srv =
+  let tick = ref 0 in
+  let rec loop () =
+    let keep_going = Mutex.protect srv.qm (fun () -> srv.running) in
+    if keep_going then begin
+      Thread.delay 0.25;
+      Obs.Flight.poll ();
+      incr tick;
+      if !tick mod 8 = 0 && Obs.Trace.enabled () then Obs.Trace.flush ();
+      loop ()
+    end
+  in
+  loop ()
+
 let start ?(config = default_config ()) () =
   (* a client hanging up mid-response must surface as EPIPE on the
      handler thread, not kill the process *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Obs.Metrics.set_enabled true;
+  (* the flight recorder is always on in the daemon: a bounded ring per
+     domain, dumped on 5xx/422, solver non-convergence, or SIGUSR1 *)
+  Obs.Flight.set_enabled true;
+  let access_log =
+    match Sys.getenv_opt "OBS_ACCESS_LOG" with
+    | None | Some "" | Some "0" -> None
+    | Some "-" | Some "stderr" -> Some (stderr, false)
+    | Some path -> (
+        match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+        | oc -> Some (oc, true)
+        | exception Sys_error msg ->
+            Printf.eprintf "warning: OBS_ACCESS_LOG: %s\n%!" msg;
+            None)
+  in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -846,18 +1155,29 @@ let start ?(config = default_config ()) () =
       clock = 0;
       cm = Mutex.create ();
       c = make_counters ();
+      access_log;
+      al_mutex = Mutex.create ();
       accept_thread = None;
       sched_thread = None;
+      house_thread = None;
     }
   in
   srv.sched_thread <- Some (Thread.create scheduler srv);
   srv.accept_thread <- Some (Thread.create accept_loop srv);
+  srv.house_thread <- Some (Thread.create housekeeping srv);
   srv
 
 let wait srv =
   Option.iter Thread.join srv.sched_thread;
   Option.iter Thread.join srv.accept_thread;
-  Parallel.Pool.shutdown srv.pool
+  Option.iter Thread.join srv.house_thread;
+  Parallel.Pool.shutdown srv.pool;
+  match srv.access_log with
+  | Some (oc, close_at_stop) ->
+      Mutex.protect srv.al_mutex (fun () ->
+          (try flush oc with Sys_error _ -> ());
+          if close_at_stop then try close_out oc with Sys_error _ -> ())
+  | None -> ()
 
 let stop srv =
   initiate_stop srv;

@@ -277,6 +277,356 @@ let test_trace_roundtrip () =
   | _ -> Alcotest.fail "outer span lost its args"
 
 (* ------------------------------------------------------------------ *)
+(* W3C trace-context *)
+
+let valid_trace_id = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+let valid_span_id = "00f067aa0ba902b7"
+
+let test_traceparent_parse () =
+  let tid = valid_trace_id and sid = valid_span_id in
+  (match
+     Obs.Trace.parse_traceparent (Printf.sprintf "00-%s-%s-01" tid sid)
+   with
+  | Some c ->
+      Alcotest.(check string) "trace id" tid c.Obs.Trace.trace_id;
+      Alcotest.(check string) "span id" sid c.Obs.Trace.span_id
+  | None -> Alcotest.fail "valid traceparent rejected");
+  Alcotest.(check bool)
+    "surrounding whitespace tolerated" true
+    (Obs.Trace.parse_traceparent (Printf.sprintf " 00-%s-%s-00\r\n" tid sid)
+    <> None);
+  Alcotest.(check bool)
+    "later version may append fields" true
+    (Obs.Trace.parse_traceparent (Printf.sprintf "cc-%s-%s-01-extra" tid sid)
+    <> None);
+  List.iter
+    (fun (label, s) ->
+      Alcotest.(check bool)
+        (label ^ " rejected") true
+        (Obs.Trace.parse_traceparent s = None))
+    [
+      ("empty", "");
+      ("too few fields", Printf.sprintf "00-%s-%s" tid sid);
+      ("short trace id", Printf.sprintf "00-%s-%s-01" (String.sub tid 0 31) sid);
+      ("long span id", Printf.sprintf "00-%s-%s0-01" tid sid);
+      ( "non-hex trace id",
+        Printf.sprintf "00-%s-%s-01" ("g" ^ String.sub tid 1 31) sid );
+      ( "uppercase hex",
+        Printf.sprintf "00-%s-%s-01" (String.uppercase_ascii tid) sid );
+      ("all-zero trace id", Printf.sprintf "00-%s-%s-01" (String.make 32 '0') sid);
+      ("all-zero span id", Printf.sprintf "00-%s-%s-01" tid (String.make 16 '0'));
+      ("version ff", Printf.sprintf "ff-%s-%s-01" tid sid);
+      ("one-digit version", Printf.sprintf "0-%s-%s-01" tid sid);
+      ("non-hex flags", Printf.sprintf "00-%s-%s-0g" tid sid);
+      ("version 00 trailing fields", Printf.sprintf "00-%s-%s-01-x" tid sid);
+    ]
+
+let test_traceparent_format_roundtrip () =
+  let c = Obs.Trace.new_context () in
+  Alcotest.(check int) "trace id length" 32 (String.length c.Obs.Trace.trace_id);
+  Alcotest.(check int) "span id length" 16 (String.length c.Obs.Trace.span_id);
+  let child = Obs.Trace.child_context c in
+  Alcotest.(check string)
+    "child keeps trace id" c.Obs.Trace.trace_id child.Obs.Trace.trace_id;
+  Alcotest.(check bool)
+    "child gets a fresh span id" true
+    (child.Obs.Trace.span_id <> c.Obs.Trace.span_id);
+  Alcotest.(check bool)
+    "fresh contexts differ" true
+    ((Obs.Trace.new_context ()).Obs.Trace.trace_id <> c.Obs.Trace.trace_id);
+  match Obs.Trace.parse_traceparent (Obs.Trace.format_traceparent c) with
+  | Some c' ->
+      Alcotest.(check string)
+        "roundtrip trace id" c.Obs.Trace.trace_id c'.Obs.Trace.trace_id;
+      Alcotest.(check string)
+        "roundtrip span id" c.Obs.Trace.span_id c'.Obs.Trace.span_id
+  | None -> Alcotest.fail "formatted traceparent does not parse back"
+
+let test_trace_context_propagation () =
+  let path = Filename.temp_file "arcade_obs_ctx" ".json" in
+  Obs.Trace.set_output (Some path);
+  let ctx = Obs.Trace.new_context () in
+  Obs.Trace.with_context (Some ctx) (fun () ->
+      Alcotest.(check bool)
+        "ambient context installed" true
+        (Obs.Trace.current_context () = Some ctx);
+      Obs.Trace.with_span "ctx_root" ~ctx (fun _ ->
+          (* pool workers must re-install the submitter's context *)
+          ignore
+            (Numeric.Parallel.map ~domains:2
+               (fun i ->
+                 Obs.Trace.with_span "ctx_worker" (fun _ -> spin ());
+                 i)
+               [ 1; 2; 3; 4 ])));
+  Obs.Trace.flush ();
+  Obs.Trace.set_output None;
+  let events =
+    match parse_json (read_file path) with
+    | Jlist evs -> evs
+    | _ -> Alcotest.fail "context trace is not a JSON array"
+  in
+  Sys.remove path;
+  let args_of ev =
+    match member "args" ev with Some (Jobj kvs) -> kvs | _ -> []
+  in
+  let named name ev = member "name" ev = Some (Jstr name) in
+  (match List.find_opt (named "ctx_root") events with
+  | Some ev ->
+      Alcotest.(check bool)
+        "root carries the caller-minted ids" true
+        (List.assoc_opt "trace_id" (args_of ev)
+         = Some (Jstr ctx.Obs.Trace.trace_id)
+        && List.assoc_opt "span_id" (args_of ev)
+           = Some (Jstr ctx.Obs.Trace.span_id))
+  | None -> Alcotest.fail "no ctx_root span");
+  let workers = List.filter (named "ctx_worker") events in
+  Alcotest.(check bool) "worker spans recorded" true (workers <> []);
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool)
+        "worker span joins the submitting trace" true
+        (List.assoc_opt "trace_id" (args_of ev)
+        = Some (Jstr ctx.Obs.Trace.trace_id)))
+    workers
+
+(* ------------------------------------------------------------------ *)
+(* Bounded buffers, output cycling, incremental flush *)
+
+let count_named name events =
+  List.length
+    (List.filter (fun ev -> member "name" ev = Some (Jstr name)) events)
+
+let test_trace_bounded_buffers () =
+  let path = Filename.temp_file "arcade_obs_bounded" ".json" in
+  Obs.Trace.set_output (Some path);
+  Obs.Trace.clear ();
+  Obs.Trace.set_buffer_capacity (Some 4);
+  Alcotest.(check bool)
+    "capacity readable" true
+    (Obs.Trace.buffer_capacity () = Some 4);
+  Alcotest.(check int) "clean slate" 0 (Obs.Trace.dropped_events ());
+  for i = 1 to 10 do
+    Obs.Trace.instant (Printf.sprintf "bounded_ev%d" i)
+  done;
+  Alcotest.(check int) "oldest six dropped" 6 (Obs.Trace.dropped_events ());
+  Obs.Trace.flush ();
+  Obs.Trace.set_buffer_capacity None;
+  Obs.Trace.set_output None;
+  let events =
+    match parse_json (read_file path) with
+    | Jlist evs -> evs
+    | _ -> Alcotest.fail "bounded trace is not a JSON array"
+  in
+  Sys.remove path;
+  Alcotest.(check int) "only the capacity survives" 4 (List.length events);
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "newest kept (ev%d)" i)
+        1
+        (count_named (Printf.sprintf "bounded_ev%d" i) events))
+    [ 7; 8; 9; 10 ];
+  Alcotest.(check int) "oldest dropped (ev1)" 0
+    (count_named "bounded_ev1" events);
+  Obs.Trace.clear ();
+  Alcotest.(check int) "clear resets the dropped count" 0
+    (Obs.Trace.dropped_events ())
+
+let test_trace_output_cycling () =
+  (* cycling None -> Some must start a fresh recording: the second file
+     holds only events recorded after the second set_output, never a
+     superset rewrite of the first session *)
+  let p1 = Filename.temp_file "arcade_obs_cycle1" ".json" in
+  let p2 = Filename.temp_file "arcade_obs_cycle2" ".json" in
+  Obs.Trace.set_output (Some p1);
+  Obs.Trace.instant "first_session";
+  Obs.Trace.flush ();
+  Obs.Trace.set_output None;
+  Obs.Trace.set_output (Some p2);
+  Obs.Trace.instant "second_session";
+  Obs.Trace.flush ();
+  Obs.Trace.set_output None;
+  let parse path =
+    match parse_json (read_file path) with
+    | Jlist evs -> evs
+    | _ -> Alcotest.fail (path ^ " is not a JSON array")
+  in
+  let e1 = parse p1 and e2 = parse p2 in
+  Sys.remove p1;
+  Sys.remove p2;
+  Alcotest.(check int) "first file has its event" 1
+    (count_named "first_session" e1);
+  Alcotest.(check int) "second file has its event" 1
+    (count_named "second_session" e2);
+  Alcotest.(check int) "second file is not a superset" 0
+    (count_named "first_session" e2)
+
+let test_trace_incremental_flush () =
+  let path = Filename.temp_file "arcade_obs_inc" ".json" in
+  Obs.Trace.set_output (Some path);
+  Obs.Trace.set_incremental true;
+  Obs.Trace.instant "inc_a";
+  Obs.Trace.flush ();
+  Obs.Trace.instant "inc_b";
+  Obs.Trace.flush ();
+  (* buffers were drained: an idle flush must not duplicate anything *)
+  Obs.Trace.flush ();
+  Obs.Trace.set_incremental false;
+  Obs.Trace.set_output None;
+  let raw = read_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "file starts an array" true (raw.[0] = '[');
+  let trimmed = String.trim raw in
+  Alcotest.(check bool)
+    "incremental file stays open-ended" true
+    (trimmed.[String.length trimmed - 1] <> ']');
+  (* Perfetto loads the bracket-less form; strict parsers close it first *)
+  let closed =
+    let t =
+      if trimmed.[String.length trimmed - 1] = ',' then
+        String.sub trimmed 0 (String.length trimmed - 1)
+      else trimmed
+    in
+    t ^ "]"
+  in
+  let events =
+    match parse_json closed with
+    | Jlist evs -> evs
+    | _ -> Alcotest.fail "closed incremental trace is not a JSON array"
+  in
+  Alcotest.(check int) "first flush appended once" 1 (count_named "inc_a" events);
+  Alcotest.(check int) "second flush appended once" 1
+    (count_named "inc_b" events)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition *)
+
+let starts_with prefix l =
+  String.length l >= String.length prefix
+  && String.sub l 0 (String.length prefix) = prefix
+
+let test_prometheus_exposition () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "test.prom/requests" in
+  Obs.Metrics.add c 3;
+  (* sanitizes to the same family as the counter above; sorted-first wins *)
+  ignore (Obs.Metrics.counter "test.prom_requests");
+  let g = Obs.Metrics.gauge "test.prom.gauge" in
+  Obs.Metrics.set_gauge g 2.5;
+  let h = Obs.Metrics.histogram ~buckets:[| 1.; 10.; 100. |] "test.prom.hist" in
+  List.iter (Obs.Metrics.observe h) [ 0.5; 5.; 50.; 500. ];
+  Obs.Metrics.set_enabled false;
+  let text = Obs.Metrics.to_prometheus (Obs.Metrics.snapshot ()) in
+  let lines = String.split_on_char '\n' text in
+  let sample prefix =
+    List.find_opt (fun l -> starts_with (prefix ^ " ") l) lines
+  in
+  Alcotest.(check bool)
+    "counter sanitized, _total suffixed" true
+    (sample "arcade_test_prom_requests_total" = Some "arcade_test_prom_requests_total 3");
+  Alcotest.(check bool)
+    "gauge emitted" true
+    (sample "arcade_test_prom_gauge" <> None);
+  let typed =
+    List.filter (fun l -> starts_with "# TYPE arcade_test_prom_" l) lines
+  in
+  Alcotest.(check int)
+    "one # TYPE per family, collision skipped" 3 (List.length typed);
+  Alcotest.(check int)
+    "no duplicate # TYPE lines"
+    (List.length typed)
+    (List.length (List.sort_uniq compare typed));
+  let bucket le =
+    match sample (Printf.sprintf "arcade_test_prom_hist_bucket{le=\"%s\"}" le) with
+    | Some l ->
+        int_of_string
+          (String.trim
+             (String.sub l
+                (String.rindex l ' ')
+                (String.length l - String.rindex l ' ')))
+    | None -> Alcotest.fail (Printf.sprintf "missing bucket le=%s" le)
+  in
+  Alcotest.(check int) "bucket le=1 cumulative" 1 (bucket "1");
+  Alcotest.(check int) "bucket le=10 cumulative" 2 (bucket "10");
+  Alcotest.(check int) "bucket le=100 cumulative" 3 (bucket "100");
+  Alcotest.(check int) "bucket le=+Inf is the total" 4 (bucket "+Inf");
+  Alcotest.(check bool)
+    "_count equals +Inf bucket" true
+    (sample "arcade_test_prom_hist_count" = Some "arcade_test_prom_hist_count 4");
+  Alcotest.(check bool)
+    "_sum present" true
+    (sample "arcade_test_prom_hist_sum" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+let test_flight_ring_dump () =
+  Obs.Trace.set_output None;
+  (* flight-only mode: spans land in the rings even with tracing off *)
+  Obs.Flight.clear ();
+  Obs.Flight.set_enabled true;
+  let path = Filename.temp_file "arcade_obs_flight" ".json" in
+  Obs.Flight.set_path path;
+  Alcotest.(check string) "path readable" path (Obs.Flight.path ());
+  let n0 = Obs.Flight.dump_count () in
+  ignore (Obs.Trace.with_span "flight_span" (fun _ -> spin (); 9));
+  Obs.Trace.instant "flight_tick";
+  Obs.Flight.dump ~reason:"unit_test" ();
+  Alcotest.(check int) "dump counted" (n0 + 1) (Obs.Flight.dump_count ());
+  let events =
+    match parse_json (read_file path) with
+    | Jlist evs -> evs
+    | _ -> Alcotest.fail "flight dump is not a JSON array"
+  in
+  Alcotest.(check int) "ring kept the span" 1 (count_named "flight_span" events);
+  Alcotest.(check int) "ring kept the instant" 1
+    (count_named "flight_tick" events);
+  (match
+     List.find_opt
+       (fun ev -> member "name" ev = Some (Jstr "flight.dump"))
+       events
+   with
+  | Some marker -> (
+      match member "args" marker with
+      | Some (Jobj kvs) ->
+          Alcotest.(check bool)
+            "marker carries the reason" true
+            (List.assoc_opt "reason" kvs = Some (Jstr "unit_test"))
+      | _ -> Alcotest.fail "flight.dump marker has no args")
+  | None -> Alcotest.fail "no flight.dump marker");
+  (* async-signal path: request only sets a flag, poll performs the dump *)
+  Obs.Flight.request_dump ();
+  Obs.Flight.poll ();
+  Alcotest.(check int) "polled dump" (n0 + 2) (Obs.Flight.dump_count ());
+  Obs.Flight.poll ();
+  Alcotest.(check int) "poll without a request is a no-op" (n0 + 2)
+    (Obs.Flight.dump_count ());
+  Sys.remove path;
+  Obs.Flight.clear ();
+  Obs.Flight.set_enabled false
+
+let test_flight_nonconvergence_dump () =
+  Obs.Flight.clear ();
+  Obs.Flight.set_enabled true;
+  let path = Filename.temp_file "arcade_obs_flightnc" ".json" in
+  Obs.Flight.set_path path;
+  let n0 = Obs.Flight.dump_count () in
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.record_solve ~solver:"unit_fail" ~size:2 ~iterations:1
+    ~residual:1.0 ~converged:false;
+  Obs.Metrics.set_enabled false;
+  Alcotest.(check int) "non-convergence dumped" (n0 + 1)
+    (Obs.Flight.dump_count ());
+  Alcotest.(check bool)
+    "dump names the trigger" true
+    (contains "solver_nonconvergence" (read_file path));
+  Sys.remove path;
+  Obs.Flight.clear ();
+  Obs.Flight.set_enabled false
+
+(* ------------------------------------------------------------------ *)
 (* Metrics *)
 
 let test_metrics_counters_domains () =
@@ -605,6 +955,35 @@ let () =
           Alcotest.test_case "disabled is a no-op" `Quick test_trace_disabled;
           Alcotest.test_case "chrome-trace roundtrip" `Quick
             test_trace_roundtrip;
+        ] );
+      ( "trace-context",
+        [
+          Alcotest.test_case "traceparent parse matrix" `Quick
+            test_traceparent_parse;
+          Alcotest.test_case "format/parse roundtrip" `Quick
+            test_traceparent_format_roundtrip;
+          Alcotest.test_case "context reaches pool workers" `Quick
+            test_trace_context_propagation;
+        ] );
+      ( "trace-buffers",
+        [
+          Alcotest.test_case "bounded buffers drop oldest" `Quick
+            test_trace_bounded_buffers;
+          Alcotest.test_case "output cycling starts fresh" `Quick
+            test_trace_output_cycling;
+          Alcotest.test_case "incremental flush appends" `Quick
+            test_trace_incremental_flush;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "text exposition invariants" `Quick
+            test_prometheus_exposition;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring dump and poll" `Quick test_flight_ring_dump;
+          Alcotest.test_case "non-convergence triggers a dump" `Quick
+            test_flight_nonconvergence_dump;
         ] );
       ( "metrics",
         [

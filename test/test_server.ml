@@ -395,6 +395,196 @@ let test_shutdown_endpoint () =
   Server.stop srv
 
 (* ------------------------------------------------------------------ *)
+(* Observability over the wire: traceparent echo, Prometheus
+   exposition, access log, flight dump on rejection *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let is_lower_hex s =
+  String.for_all
+    (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+    s
+
+let test_traceparent_echo () =
+  with_server (fun port ->
+      let cl = Http.connect ~host:"127.0.0.1" ~port in
+      Fun.protect
+        ~finally:(fun () -> Http.close cl)
+        (fun () ->
+          let sent_trace = String.make 31 'a' ^ "b" in
+          let sent =
+            Printf.sprintf "00-%s-00f067aa0ba902b7-01" sent_trace
+          in
+          let status, headers, _ =
+            Http.call_full
+              ~headers:[ ("traceparent", sent) ]
+              cl ~meth:"GET" ~path:"/health" ()
+          in
+          Alcotest.(check int) "status" 200 status;
+          (match List.assoc_opt "traceparent" headers with
+          | Some tp -> (
+              match String.split_on_char '-' tp with
+              | [ "00"; trace_id; span_id; _flags ] ->
+                  Alcotest.(check string)
+                    "client trace id echoed" sent_trace trace_id;
+                  Alcotest.(check bool)
+                    "server minted its own span id" true
+                    (String.length span_id = 16
+                    && is_lower_hex span_id
+                    && span_id <> "00f067aa0ba902b7")
+              | _ -> Alcotest.fail ("malformed echoed traceparent: " ^ tp))
+          | None -> Alcotest.fail "no traceparent response header");
+          (* without a client header the server mints a fresh identity *)
+          let _, headers, _ = Http.call_full cl ~meth:"GET" ~path:"/health" () in
+          (match List.assoc_opt "traceparent" headers with
+          | Some tp -> (
+              match String.split_on_char '-' tp with
+              | [ "00"; trace_id; span_id; _ ] ->
+                  Alcotest.(check bool)
+                    "generated ids well-formed" true
+                    (String.length trace_id = 32
+                    && is_lower_hex trace_id
+                    && trace_id <> sent_trace
+                    && String.length span_id = 16)
+              | _ -> Alcotest.fail ("malformed generated traceparent: " ^ tp))
+          | None -> Alcotest.fail "no generated traceparent header");
+          (* a malformed client header is ignored, never echoed back *)
+          let _, headers, _ =
+            Http.call_full
+              ~headers:[ ("traceparent", "00-zzzz-bad-01") ]
+              cl ~meth:"GET" ~path:"/health" ()
+          in
+          match List.assoc_opt "traceparent" headers with
+          | Some tp ->
+              Alcotest.(check bool)
+                "malformed input replaced by a fresh trace" true
+                (not (contains tp "zzzz"))
+          | None -> Alcotest.fail "no traceparent header on malformed input"))
+
+let test_metrics_prometheus () =
+  with_server (fun port ->
+      ignore (post_analyze port);
+      let cl = Http.connect ~host:"127.0.0.1" ~port in
+      Fun.protect
+        ~finally:(fun () -> Http.close cl)
+        (fun () ->
+          let status, headers, body =
+            Http.call_full
+              ~headers:[ ("accept", "text/plain") ]
+              cl ~meth:"GET" ~path:"/metrics" ()
+          in
+          Alcotest.(check int) "status" 200 status;
+          (match List.assoc_opt "content-type" headers with
+          | Some ct ->
+              Alcotest.(check bool)
+                ("prometheus content type: " ^ ct)
+                true
+                (contains ct "text/plain" && contains ct "0.0.4")
+          | None -> Alcotest.fail "no content-type header");
+          Alcotest.(check bool)
+            "typed families" true
+            (contains body "# TYPE arcade_server_requests_total counter");
+          Alcotest.(check bool)
+            "histograms end at +Inf" true
+            (contains body {|le="+Inf"|});
+          Alcotest.(check bool)
+            "not the JSON rendering" true
+            (body.[0] = '#');
+          (* same exposition via the query parameter, for plain scrapers *)
+          let _, _, via_query =
+            Http.call_full cl ~meth:"GET" ~path:"/metrics?format=prometheus" ()
+          in
+          Alcotest.(check bool)
+            "format=prometheus selects text" true
+            (via_query.[0] = '#');
+          (* default stays JSON *)
+          let _, _, dflt = Http.call_full cl ~meth:"GET" ~path:"/metrics" () in
+          match Json.parse dflt with
+          | Json.Obj _ -> ()
+          | _ -> Alcotest.fail "default /metrics is not a JSON object"))
+
+let test_access_log () =
+  let path = Filename.temp_file "arcade_access" ".log" in
+  Unix.putenv "OBS_ACCESS_LOG" path;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "OBS_ACCESS_LOG" "")
+    (fun () ->
+      with_server (fun port ->
+          let status, _ =
+            Http.request ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/health" ()
+          in
+          Alcotest.(check int) "health" 200 status;
+          ignore (post_analyze port)));
+  (* server stopped: the log is flushed and closed *)
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file path))
+  in
+  Sys.remove path;
+  Alcotest.(check bool)
+    "one line per request" true
+    (List.length lines >= 2);
+  List.iter
+    (fun line ->
+      let j = Json.parse line in
+      (match Json.string_field "trace_id" j with
+      | Some tid ->
+          Alcotest.(check bool)
+            "trace id well-formed" true
+            (String.length tid = 32 && is_lower_hex tid)
+      | None -> Alcotest.fail "access line without trace_id");
+      Alcotest.(check bool)
+        "status and latency present" true
+        (Json.member "status" j <> None && Json.member "latency_ms" j <> None))
+    lines;
+  Alcotest.(check bool)
+    "health request logged" true
+    (List.exists
+       (fun l ->
+         Json.string_field "path" (Json.parse l) = Some "/health")
+       lines);
+  Alcotest.(check bool)
+    "analyze line carries the model hash" true
+    (List.exists
+       (fun l ->
+         let j = Json.parse l in
+         Json.string_field "path" j = Some "/analyze"
+         && Json.string_field "model_hash" j <> None)
+       lines)
+
+let test_flight_dump_on_reject () =
+  let path = Filename.temp_file "arcade_flightdump" ".json" in
+  Sys.remove path;
+  Obs.Flight.set_path path;
+  let n0 = Obs.Flight.dump_count () in
+  with_server (fun port ->
+      let status, _ =
+        post_analyze ~model:"<arcade name=\"broken\"><components>" port
+      in
+      Alcotest.(check int) "rejected" 422 status;
+      (* the dump happens after the response is written: wait for it *)
+      let deadline = Unix.gettimeofday () +. 5. in
+      while
+        Obs.Flight.dump_count () = n0 && Unix.gettimeofday () < deadline
+      do
+        Thread.delay 0.02
+      done;
+      Alcotest.(check bool)
+        "rejection dumped the flight ring" true
+        (Obs.Flight.dump_count () > n0));
+  let dump = read_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "dump is an array" true (dump.[0] = '[');
+  Alcotest.(check bool)
+    "dump names the trigger" true
+    (contains dump "flight.dump" && contains dump "http_422")
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "server"
@@ -428,5 +618,14 @@ let () =
             test_concurrent_amortization;
           Alcotest.test_case "distinct models fan out" `Quick
             test_distinct_models_fan_out;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "traceparent echo" `Quick test_traceparent_echo;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_metrics_prometheus;
+          Alcotest.test_case "access log" `Quick test_access_log;
+          Alcotest.test_case "flight dump on rejection" `Quick
+            test_flight_dump_on_reject;
         ] );
     ]
